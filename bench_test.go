@@ -1,0 +1,144 @@
+package simany
+
+// One testing.B benchmark per figure/table of the paper's evaluation
+// (§VI). Each iteration regenerates the figure's data on a truncated core
+// grid with reduced datasets so `go test -bench=.` completes in minutes;
+// the full paper grid (up to 1024 cores, paper-sized datasets) is produced
+// by `go run ./cmd/simany-sweep` and recorded in EXPERIMENTS.md.
+//
+// Reported custom metrics summarize each figure's headline number so that
+// regressions in *shape* (not just wall time) are visible in benchmark
+// diffs.
+
+import (
+	"strconv"
+	"testing"
+
+	"simany/internal/harness"
+	"simany/internal/stats"
+)
+
+// figHarness builds the truncated-grid harness used by the figure benches.
+func figHarness(benchmarks ...string) *harness.Harness {
+	return harness.New(harness.Options{
+		Seed:       42,
+		Scale:      0.25,
+		Quick:      true,
+		Benchmarks: benchmarks,
+	})
+}
+
+// lastColMean extracts the mean of a table's final numeric column.
+func lastColMean(t *stats.Table) float64 {
+	var vals []float64
+	for _, row := range t.Rows {
+		if v, err := strconv.ParseFloat(row[len(row)-1], 64); err == nil {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	return stats.Mean(vals)
+}
+
+func runFigure(b *testing.B, id string, benchmarks ...string) []*stats.Table {
+	b.Helper()
+	var tables []*stats.Table
+	for i := 0; i < b.N; i++ {
+		h := figHarness(benchmarks...)
+		var err error
+		tables, err = h.Figure(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tables
+}
+
+// BenchmarkFig05 regenerates the uniform-mesh validation: SiMany (VT) vs
+// the cycle-level reference (CL) speedups on shared memory with coherence
+// timing.
+func BenchmarkFig05(b *testing.B) {
+	tables := runFigure(b, harness.Fig5, "quicksort", "spmxv")
+	b.ReportMetric(lastColMean(tables[0]), "speedup@max")
+}
+
+// BenchmarkFig06 is the polymorphic-mesh validation.
+func BenchmarkFig06(b *testing.B) {
+	tables := runFigure(b, harness.Fig6, "quicksort", "spmxv")
+	b.ReportMetric(lastColMean(tables[0]), "speedup@max")
+}
+
+// BenchmarkFig07 regenerates the normalized simulation time figure and
+// reports the fitted power-law exponent (the paper observes a square law
+// with a small coefficient).
+func BenchmarkFig07(b *testing.B) {
+	tables := runFigure(b, harness.Fig7, "quicksort", "octree")
+	b.ReportMetric(lastColMean(tables[0]), "powerlaw-k")
+}
+
+// BenchmarkFig08 regenerates the shared-memory speedup curves.
+func BenchmarkFig08(b *testing.B) {
+	tables := runFigure(b, harness.Fig8)
+	b.ReportMetric(lastColMean(tables[0]), "speedup@max")
+}
+
+// BenchmarkFig09 regenerates the distributed-memory speedup curves
+// (data-contended benchmarks collapse).
+func BenchmarkFig09(b *testing.B) {
+	tables := runFigure(b, harness.Fig9)
+	b.ReportMetric(lastColMean(tables[0]), "speedup@max")
+}
+
+// BenchmarkFig10 regenerates the virtual-time-vs-T table (speedup
+// variation for T ∈ {50,500,1000} against T=100).
+func BenchmarkFig10(b *testing.B) {
+	runFigure(b, harness.Fig10, "quicksort", "dijkstra")
+}
+
+// BenchmarkFig11 regenerates the simulation-time-vs-T table (larger T ⇒
+// fewer synchronizations ⇒ faster simulation).
+func BenchmarkFig11(b *testing.B) {
+	runFigure(b, harness.Fig11, "quicksort", "dijkstra")
+}
+
+// BenchmarkFig12 regenerates the clustered-mesh distributed-memory
+// speedups.
+func BenchmarkFig12(b *testing.B) {
+	tables := runFigure(b, harness.Fig12)
+	b.ReportMetric(lastColMean(tables[0]), "speedup@max")
+}
+
+// BenchmarkFig13 regenerates the polymorphic-mesh distributed-memory
+// speedups.
+func BenchmarkFig13(b *testing.B) {
+	tables := runFigure(b, harness.Fig13)
+	b.ReportMetric(lastColMean(tables[0]), "speedup@max")
+}
+
+// BenchmarkErrors regenerates the §VI geometric-mean error aggregates of
+// SiMany against the cycle-level reference.
+func BenchmarkErrors(b *testing.B) {
+	runFigure(b, harness.FigErrors, "quicksort", "spmxv")
+}
+
+// BenchmarkAblationSync compares spatial synchronization against the
+// related-work schemes (§VII): strict order, global quantum, bounded
+// slack, LaxP2P, unbounded.
+func BenchmarkAblationSync(b *testing.B) {
+	runFigure(b, harness.FigAblation)
+}
+
+// BenchmarkFigParallel regenerates the §VIII preliminary study: how many
+// cores are independently simulatable at once under spatial
+// synchronization.
+func BenchmarkFigParallel(b *testing.B) {
+	runFigure(b, harness.FigParallel, "dijkstra", "octree")
+}
+
+// BenchmarkFigHetero regenerates the §VIII future-work extension:
+// heterogeneity-aware dispatch on polymorphic distributed machines.
+func BenchmarkFigHetero(b *testing.B) {
+	runFigure(b, harness.FigHetero, "quicksort", "octree")
+}

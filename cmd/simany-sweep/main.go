@@ -1,0 +1,72 @@
+// Command simany-sweep regenerates the paper's evaluation: every figure
+// and table of §VI as plain-text series.
+//
+// Usage:
+//
+//	simany-sweep                  # everything (takes a while at 1024 cores)
+//	simany-sweep -fig 8           # one figure
+//	simany-sweep -quick           # truncated core grid for a fast pass
+//	simany-sweep -bench quicksort # restrict the benchmark set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"simany/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "simany-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("simany-sweep", flag.ContinueOnError)
+	var (
+		fig     = fs.String("fig", "", "figure to regenerate ("+strings.Join(harness.AllFigures(), ", ")+"); empty = all")
+		quick   = fs.Bool("quick", false, "truncate the core grid for a fast pass")
+		seed    = fs.Int64("seed", 42, "random seed")
+		scale   = fs.Float64("scale", 1, "dataset scale factor")
+		benchs  = fs.String("bench", "", "comma-separated benchmark subset")
+		plot    = fs.Bool("plot", false, "render ASCII log-log curves after speedup figures")
+		verbose = fs.Bool("v", false, "log every run to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opt := harness.Options{Seed: *seed, Scale: *scale, Quick: *quick}
+	if *benchs != "" {
+		opt.Benchmarks = strings.Split(*benchs, ",")
+	}
+	if *verbose {
+		opt.Log = os.Stderr
+	}
+	h := harness.New(opt)
+	if *fig == "" {
+		return h.WriteAll(os.Stdout)
+	}
+	tables, err := h.Figure(*fig)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if err := t.Fprint(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if *plot {
+		for _, p := range h.LastPlots() {
+			if err := p.Fprint(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}

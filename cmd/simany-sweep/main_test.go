@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunSingleFigure(t *testing.T) {
+	if err := run([]string{"-fig", "8", "-quick", "-scale", "0.1", "-bench", "octree"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithPlot(t *testing.T) {
+	if err := run([]string{"-fig", "9", "-quick", "-scale", "0.1", "-bench", "octree", "-plot"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDriftTable(t *testing.T) {
+	if err := run([]string{"-fig", "10", "-quick", "-scale", "0.1", "-bench", "octree"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "99"}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	if err := run([]string{"-fig", "8", "-quick", "-bench", "nope"}); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,101 @@
+// Command simany-topo generates, inspects and converts the adjacency-
+// matrix topology files SiMany reads (§III: "Network topology is specified
+// in a configuration file as an adjacency matrix").
+//
+// Usage:
+//
+//	simany-topo -gen mesh -cores 64 > mesh64.topo
+//	simany-topo -gen clustered4 -cores 256 > c4.topo
+//	simany-topo -info mesh64.topo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simany/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "simany-topo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("simany-topo", flag.ContinueOnError)
+	var (
+		gen   = fs.String("gen", "", "generate a topology: mesh, torus, ring, star, full, clustered4, clustered8")
+		cores = fs.Int("cores", 64, "core count for -gen")
+		info  = fs.String("info", "", "print statistics about a topology file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *gen != "":
+		t, err := generate(*gen, *cores)
+		if err != nil {
+			return err
+		}
+		return topology.WriteAdjacency(os.Stdout, t)
+	case *info != "":
+		f, err := os.Open(*info)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		t, err := topology.ParseAdjacency(f)
+		if err != nil {
+			return err
+		}
+		describe(t)
+		return nil
+	default:
+		fs.Usage()
+		return fmt.Errorf("one of -gen or -info is required")
+	}
+}
+
+func generate(kind string, n int) (*topology.Topology, error) {
+	lat, bw := topology.DefaultLatency, topology.DefaultBandwidth
+	switch kind {
+	case "mesh":
+		return topology.Mesh(n), nil
+	case "torus":
+		w, h := topology.MeshDims(n)
+		return topology.Torus2D(w, h, lat, bw), nil
+	case "ring":
+		return topology.Ring(n, lat, bw), nil
+	case "star":
+		return topology.Star(n, lat, bw), nil
+	case "full":
+		return topology.FullyConnected(n, lat, bw), nil
+	case "clustered4":
+		return topology.Clustered(n, topology.DefaultClusteredParams(4)), nil
+	case "clustered8":
+		return topology.Clustered(n, topology.DefaultClusteredParams(8)), nil
+	default:
+		return nil, fmt.Errorf("unknown topology kind %q", kind)
+	}
+}
+
+func describe(t *topology.Topology) {
+	minDeg, maxDeg := t.N(), 0
+	for c := 0; c < t.N(); c++ {
+		d := t.Degree(c)
+		if d < minDeg {
+			minDeg = d
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	fmt.Printf("cores      %d\n", t.N())
+	fmt.Printf("links      %d (directed)\n", t.NumLinks())
+	fmt.Printf("connected  %v\n", t.Connected())
+	fmt.Printf("diameter   %d hops (global drift bound = diameter × T)\n", t.Diameter())
+	fmt.Printf("degree     min %d, max %d\n", minDeg, maxDeg)
+}

@@ -1,0 +1,184 @@
+// Command simany runs one dwarf benchmark on one simulated many-core
+// machine and reports virtual time, speedup-relevant statistics and
+// simulation cost.
+//
+// Usage:
+//
+//	simany -bench quicksort -cores 64 -mem shared -style uniform -T 100
+//
+// Flags select the architecture grid of the paper (§V): core count, mesh
+// style (uniform, polymorphic, clustered4, clustered8), memory organization
+// (shared, shared+coherence, distributed), synchronization policy and the
+// maximum local drift T.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"simany/internal/bench"
+	"simany/internal/config"
+	"simany/internal/core"
+	"simany/internal/rt"
+	"simany/internal/trace"
+	"simany/internal/vtime"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "simany:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("simany", flag.ContinueOnError)
+	var (
+		benchName = fs.String("bench", "quicksort", "benchmark: "+strings.Join(bench.Names(), ", "))
+		cores     = fs.Int("cores", 64, "number of cores")
+		memKind   = fs.String("mem", "shared", "memory organization: shared, coherent, distributed")
+		style     = fs.String("style", "uniform", "machine style: uniform, polymorphic, clustered4, clustered8")
+		policy    = fs.String("policy", "spatial", "sync policy: spatial, cyclelevel, quantum:<cy>, slack:<cy>, laxp2p:<cy>, unbounded")
+		tCycles   = fs.Float64("T", 100, "maximum local drift T in cycles (spatial sync)")
+		seed      = fs.Int64("seed", 42, "random seed")
+		scale     = fs.Float64("scale", 1, "dataset scale factor (≥1 approaches paper-sized inputs)")
+		verbose   = fs.Bool("v", false, "print runtime statistics")
+		traceFile = fs.String("trace", "", "write an event trace to this file")
+		timeline  = fs.Bool("timeline", false, "print an ASCII per-core activity timeline")
+		machineF  = fs.String("machine", "", "load the architecture from a machine description file (overrides -cores/-style/-mem/-policy/-T)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	b, err := bench.ByName(*benchName)
+	if err != nil {
+		return err
+	}
+	var m config.Machine
+	if *machineF != "" {
+		var err error
+		m, err = config.LoadMachineFile(*machineF)
+		if err != nil {
+			return err
+		}
+		if m.Seed == 0 {
+			m.Seed = *seed
+		}
+		mode := bench.Shared
+		if m.Mem == config.DistributedMem {
+			mode = bench.Distributed
+		}
+		return execute(b, m, mode, *seed, *scale, *verbose, *traceFile, *timeline)
+	}
+	m = config.Machine{Cores: *cores, T: vtime.Cycles(*tCycles), Policy: *policy, Seed: *seed}
+	switch *style {
+	case "uniform":
+		m.Style = config.Uniform
+	case "polymorphic":
+		m.Style = config.Polymorphic
+	case "clustered4":
+		m.Style = config.Clustered4
+	case "clustered8":
+		m.Style = config.Clustered8
+	default:
+		return fmt.Errorf("unknown style %q", *style)
+	}
+	mode := bench.Shared
+	switch *memKind {
+	case "shared":
+		m.Mem = config.SharedMem
+	case "coherent", "shared+coherence":
+		m.Mem = config.SharedMemCoherent
+	case "distributed", "dist":
+		m.Mem = config.DistributedMem
+		mode = bench.Distributed
+	default:
+		return fmt.Errorf("unknown memory kind %q", *memKind)
+	}
+
+	return execute(b, m, mode, *seed, *scale, *verbose, *traceFile, *timeline)
+}
+
+// execute generates the workload, runs the simulation and reports.
+func execute(b bench.Benchmark, m config.Machine, mode bench.Mode, seed int64, scale float64, verbose bool, traceFile string, timeline bool) error {
+	b.Generate(seed, scale)
+	nativeStart := time.Now()
+	want := b.RunNative()
+	nativeWall := time.Since(nativeStart)
+
+	k, r, err := m.Build()
+	if err != nil {
+		return err
+	}
+	var rec *trace.Recorder
+	if traceFile != "" || timeline {
+		rec = trace.NewRecorder(1_000_000)
+		k.SetTracer(rec)
+	}
+	root, finish := b.Program(r, mode)
+	simStart := time.Now()
+	res, err := r.Run(b.Name(), root)
+	if err != nil {
+		return err
+	}
+	simWall := time.Since(simStart)
+	ok := finish() == want
+
+	fmt.Printf("benchmark        %s (%s)\n", b.Name(), mode)
+	fmt.Printf("machine          %d cores, %s mesh, %s memory, policy %s\n",
+		k.NumCores(), m.Style, m.Mem, k.Policy().Name())
+	fmt.Printf("virtual time     %.0f cycles\n", res.FinalVT.InCycles())
+	fmt.Printf("correct output   %v\n", ok)
+	fmt.Printf("simulation wall  %v (native %v, normalized %.1fx)\n",
+		simWall.Round(time.Microsecond), nativeWall.Round(time.Microsecond),
+		float64(simWall)/float64(nativeWall+1))
+	if verbose {
+		fmt.Printf("kernel steps     %d\n", res.Steps)
+		fmt.Printf("messages         %d (%d bytes, %d hops, %d handled out of order)\n",
+			res.Messages, res.Bytes, res.Hops, res.OutOfOrder)
+		fmt.Printf("policy stalls    %d\n", res.Stalls)
+		fmt.Printf("instructions     %d annotated\n", res.Instructions)
+		fmt.Printf("host parallelism %.1f cores runnable on average (max %d)\n",
+			res.AvgRunnable, res.MaxRunnable)
+		st := r.Stats()
+		fmt.Printf("task runtime     %+v\n", st)
+		printBusiest(k, r)
+	}
+	if rec != nil {
+		if timeline {
+			fmt.Println()
+			if err := trace.Timeline(os.Stdout, rec.Events(), k.NumCores(), res.FinalVT, 72); err != nil {
+				return err
+			}
+		}
+		if traceFile != "" {
+			f, err := os.Create(traceFile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := rec.WriteText(f); err != nil {
+				return err
+			}
+			fmt.Printf("trace            %d events -> %s\n", len(rec.Events()), traceFile)
+		}
+	}
+	if !ok {
+		return fmt.Errorf("simulated output diverged from native run")
+	}
+	return nil
+}
+
+func printBusiest(k *core.Kernel, r *rt.Runtime) {
+	busiest, maxStarts := 0, int64(-1)
+	for i := 0; i < k.NumCores(); i++ {
+		if s := k.Core(i).Stats().TaskStarts; s > maxStarts {
+			busiest, maxStarts = i, s
+		}
+	}
+	fmt.Printf("busiest core     %d (%d task starts)\n", busiest, maxStarts)
+}

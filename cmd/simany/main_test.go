@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	if err := run([]string{"-bench", "octree", "-cores", "8", "-scale", "0.1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVerboseDistributed(t *testing.T) {
+	err := run([]string{"-bench", "spmxv", "-cores", "8", "-mem", "distributed",
+		"-scale", "0.1", "-v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStylesAndPolicies(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bench", "octree", "-cores", "8", "-style", "polymorphic", "-scale", "0.1"},
+		{"-bench", "octree", "-cores", "8", "-style", "clustered4", "-scale", "0.1"},
+		{"-bench", "octree", "-cores", "4", "-policy", "quantum:50", "-scale", "0.1"},
+		{"-bench", "octree", "-cores", "4", "-policy", "unbounded", "-scale", "0.1"},
+		{"-bench", "octree", "-cores", "4", "-mem", "coherent", "-scale", "0.1"},
+	} {
+		if err := run(args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bench", "nope"},
+		{"-bench", "octree", "-style", "weird"},
+		{"-bench", "octree", "-mem", "weird"},
+		{"-bench", "octree", "-cores", "4", "-policy", "wat"},
+		{"-machine", "/nonexistent/machine.conf"},
+	} {
+		if err := run(args); err == nil {
+			t.Fatalf("no error for %v", args)
+		}
+	}
+}
+
+func TestRunTraceAndTimeline(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.txt")
+	err := run([]string{"-bench", "octree", "-cores", "4", "-scale", "0.1",
+		"-trace", tracePath, "-timeline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "task-start") {
+		t.Error("trace file missing events")
+	}
+}
+
+func TestRunMachineFile(t *testing.T) {
+	dir := t.TempDir()
+	mPath := filepath.Join(dir, "m.conf")
+	if err := os.WriteFile(mPath, []byte("cores 8\nmem distributed\nT 50\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-bench", "octree", "-machine", mPath, "-scale", "0.1"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package simany_test
+
+import (
+	"fmt"
+	"strings"
+
+	"simany"
+)
+
+// ExampleSimulation demonstrates the core flow: build a machine, run an
+// annotated fork/join program, inspect the result.
+func ExampleSimulation() {
+	sim, err := simany.NewSimulation(simany.NewMachine(16))
+	if err != nil {
+		panic(err)
+	}
+	done := 0
+	res, err := sim.Run("example", func(e *simany.Env) {
+		g := sim.RT.NewGroup()
+		var split func(e *simany.Env, n int)
+		split = func(e *simany.Env, n int) {
+			for n > 1 {
+				half := n / 2
+				sim.RT.SpawnOrRun(e, g, "w", 0, func(ce *simany.Env) { split(ce, half) })
+				n -= half
+			}
+			e.ComputeCycles(10_000)
+			done++
+		}
+		split(e, 16)
+		sim.RT.Join(e, g)
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("tasks completed:", done)
+	fmt.Println("parallel faster than serial:", res.FinalVT < simany.Cycles(16*10_000))
+	// Output:
+	// tasks completed: 16
+	// parallel faster than serial: true
+}
+
+// ExampleParseTopology loads an arbitrary interconnect from the textual
+// adjacency format and inspects its drift-bound-relevant properties.
+func ExampleParseTopology() {
+	src := `cores 4
+link 0 1 0.5
+link 1 2 1
+link 2 3 4
+`
+	topo, err := simany.ParseTopology(strings.NewReader(src))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cores:", topo.N())
+	fmt.Println("diameter:", topo.Diameter())
+	fmt.Println("connected:", topo.Connected())
+	// Output:
+	// cores: 4
+	// diameter: 3
+	// connected: true
+}
+
+// ExampleBenchmarkByName runs a paper benchmark end to end and verifies
+// the simulated output against the native computation.
+func ExampleBenchmarkByName() {
+	b, err := simany.BenchmarkByName("quicksort")
+	if err != nil {
+		panic(err)
+	}
+	b.Generate(42, 0.1)
+	want := b.RunNative()
+	sim, err := simany.NewSimulation(simany.NewMachine(8))
+	if err != nil {
+		panic(err)
+	}
+	root, finish := b.Program(sim.RT, simany.BenchShared)
+	if _, err := sim.Run("quicksort", root); err != nil {
+		panic(err)
+	}
+	fmt.Println("simulated result matches native:", finish() == want)
+	// Output:
+	// simulated result matches native: true
+}
+
+// ExampleParseMachine assembles a complete architecture from a machine
+// description.
+func ExampleParseMachine() {
+	m, err := simany.ParseMachine(strings.NewReader(`
+cores 64
+style clustered4
+mem distributed
+T 50
+`), nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Cores, "cores,", m.Style.String()+",", m.Mem)
+	// Output:
+	// 64 cores, clustered4, distributed
+}

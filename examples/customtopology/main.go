@@ -1,0 +1,88 @@
+// Customtopology: SiMany reads arbitrary interconnects from adjacency
+// files (§III "Architecture Variability"). This example defines a small
+// heterogeneous network in the textual format, parses it, and compares it
+// against a plain mesh of the same size under an identical workload.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"simany"
+)
+
+// A 16-core network: a fast 8-core ring (0.5-cycle links) bridged to a
+// slow 8-core chain (4-cycle links) through one long link.
+const customNet = `
+# fast ring
+cores 16
+link 0 1 0.5
+link 1 2 0.5
+link 2 3 0.5
+link 3 4 0.5
+link 4 5 0.5
+link 5 6 0.5
+link 6 7 0.5
+link 7 0 0.5
+# bridge
+link 7 8 8 32
+# slow chain
+link 8 9 4
+link 9 10 4
+link 10 11 4
+link 11 12 4
+link 12 13 4
+link 13 14 4
+link 14 15 4
+`
+
+func workload(sim *simany.Simulation) func(*simany.Env) {
+	return func(e *simany.Env) {
+		g := sim.RT.NewGroup()
+		var split func(e *simany.Env, n int)
+		split = func(e *simany.Env, n int) {
+			for n > 1 {
+				half := n / 2
+				sim.RT.SpawnOrRun(e, g, "work", 32, func(ce *simany.Env) {
+					split(ce, half)
+				})
+				n -= half
+			}
+			e.ComputeCycles(20_000)
+		}
+		split(e, 256)
+		sim.RT.Join(e, g)
+	}
+}
+
+func main() {
+	topo, err := simany.ParseTopology(strings.NewReader(customNet))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("custom network: %d cores, diameter %d hops\n\n", topo.N(), topo.Diameter())
+
+	custom := simany.NewMachine(16)
+	custom.Topo = topo
+	mesh := simany.NewMachine(16)
+
+	fmt.Println("network        virtual-time(cy)")
+	for _, cfg := range []struct {
+		name string
+		m    simany.Machine
+	}{{"ring+chain", custom}, {"4x4 mesh", mesh}} {
+		sim, err := simany.NewSimulation(cfg.m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run("custom", workload(sim))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s  %14.0f\n", cfg.name, res.FinalVT.InCycles())
+	}
+	fmt.Println("\nWork only ever spreads to topological neighbors, so the slow chain")
+	fmt.Println("behind the single bridge link receives work late: the heterogeneous")
+	fmt.Println("network loses to the mesh despite equal core counts.")
+}

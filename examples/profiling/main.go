@@ -1,0 +1,85 @@
+// Profiling: the two observability features a simulator user lives in —
+// derived timing annotations and execution traces.
+//
+// The paper's §II.A lists four ways to obtain block timings: profile runs,
+// a simple processor model, manual insertion, and computation during the
+// execution. This example uses the last one (a host-time calibrator) for a
+// coarse-grained code block, mixes it with statically annotated blocks,
+// and then renders the per-core activity timeline recorded by the tracer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"simany"
+)
+
+// hash64 is the "real" computation whose cost we let the calibrator derive
+// instead of hand-counting instructions.
+func hash64(v uint64, rounds int) uint64 {
+	for i := 0; i < rounds; i++ {
+		v ^= v >> 33
+		v *= 0xff51afd7ed558ccd
+		v ^= v >> 29
+	}
+	return v
+}
+
+func main() {
+	cal := simany.NewCalibrator()
+	fmt.Printf("calibration: %.3f simulated cycles per host nanosecond\n\n",
+		cal.CyclesPerNanosecond)
+
+	m := simany.NewMachine(8)
+	sim, err := simany.NewSimulation(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := simany.NewTraceRecorder(0)
+	sim.K.SetTracer(rec)
+
+	mix := simany.NewOpMix()
+	var digest uint64
+	res, err := sim.Run("profiled", func(e *simany.Env) {
+		g := sim.RT.NewGroup()
+		var split func(e *simany.Env, lo, hi int)
+		split = func(e *simany.Env, lo, hi int) {
+			for hi-lo > 1 {
+				mid := (lo + hi) / 2
+				lo2, hi2 := mid, hi
+				sim.RT.SpawnOrRun(e, g, "worker", 8, func(ce *simany.Env) {
+					split(ce, lo2, hi2)
+				})
+				hi = mid
+			}
+			// Statically annotated part: an abstract operation mix
+			// (1000 compares, 200 swaps).
+			e.Compute(mix.Mix(1000, 200, 0, 0))
+			// Profiled part: native execution timed on the host and
+			// converted to virtual cycles.
+			cal.ComputeProfiled(e, func() {
+				digest ^= hash64(uint64(lo)+1, 200_000)
+			})
+		}
+		split(e, 0, 12)
+		sim.RT.Join(e, g)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("virtual execution time: %.0f cycles (digest %x)\n\n",
+		res.FinalVT.InCycles(), digest)
+	fmt.Println("per-core activity timeline:")
+	if err := simany.TraceTimeline(os.Stdout, rec.Events(), sim.K.NumCores(), res.FinalVT, 64); err != nil {
+		log.Fatal(err)
+	}
+	util := simany.TraceUtilization(rec.Events(), sim.K.NumCores(), res.FinalVT)
+	var avg float64
+	for _, u := range util {
+		avg += u
+	}
+	fmt.Printf("\naverage core utilization: %.1f%%\n", 100*avg/float64(len(util)))
+}

@@ -1,0 +1,58 @@
+// Quickstart: simulate a fork/join program on a 64-core mesh and inspect
+// how virtual execution time reacts to the machine size.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simany"
+)
+
+// program runs 64 independent work items of ~50k cycles each. Work is
+// fanned out by recursive halving: every split conditionally spawns one
+// half to a neighboring core, which is how work propagates across the mesh
+// in this programming model (tasks are only ever dispatched to neighbors,
+// §IV).
+func program(sim *simany.Simulation) func(*simany.Env) {
+	return func(e *simany.Env) {
+		g := sim.RT.NewGroup()
+		var split func(e *simany.Env, lo, hi int)
+		split = func(e *simany.Env, lo, hi int) {
+			for hi-lo > 1 {
+				mid := (lo + hi) / 2
+				lo2, hi2 := mid, hi
+				sim.RT.SpawnOrRun(e, g, "split", 0, func(ce *simany.Env) {
+					split(ce, lo2, hi2)
+				})
+				hi = mid
+			}
+			// One annotated compute block plus some memory traffic.
+			e.ComputeCycles(50_000)
+			e.Read(uint64(4096+e.CoreID()*256), 32, 8)
+		}
+		split(e, 0, 64)
+		sim.RT.Join(e, g)
+	}
+}
+
+func main() {
+	fmt.Println("cores  virtual-time(cycles)  speedup")
+	var base float64
+	for _, cores := range []int{1, 4, 16, 64} {
+		m := simany.NewMachine(cores) // shared-memory mesh, spatial sync T=100
+		sim, err := simany.NewSimulation(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run("quickstart", program(sim))
+		if err != nil {
+			log.Fatal(err)
+		}
+		vt := res.FinalVT.InCycles()
+		if base == 0 {
+			base = vt
+		}
+		fmt.Printf("%5d  %20.0f  %7.2fx\n", cores, vt, base/vt)
+	}
+}

@@ -1,0 +1,3 @@
+module simany
+
+go 1.22

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"simany/internal/core"
+	"simany/internal/mem"
+	"simany/internal/rt"
+	"simany/internal/workloads"
+)
+
+// BarnesHut is the N-body force-computation benchmark (§V): only the
+// scalability of the second phase is measured, assuming the partition tree
+// has been built and broadcast to all cores before it starts. Per-body
+// force computations are independent; the communication pattern comes from
+// the highly irregular tree traversals.
+type BarnesHut struct {
+	// Datasets is the number of body sets (4×128 + 4×200 in the paper).
+	Datasets int
+	// Bodies per set.
+	Bodies int
+	// Theta is the opening criterion.
+	Theta float64
+	// Chunk is the number of bodies per leaf task.
+	Chunk int
+
+	sets []*workloads.BHTree
+}
+
+// NewBarnesHut returns the benchmark with paper-scale defaults (the body
+// sets are small in the paper already).
+func NewBarnesHut() *BarnesHut {
+	return &BarnesHut{Datasets: 2, Bodies: 128, Theta: 0.5, Chunk: 8}
+}
+
+// Name implements Benchmark.
+func (b *BarnesHut) Name() string { return "barnes-hut" }
+
+// Generate implements Benchmark.
+func (b *BarnesHut) Generate(seed int64, scale float64) {
+	n := scaleInt(b.Bodies, scale, 16)
+	b.sets = make([]*workloads.BHTree, b.Datasets)
+	for d := range b.sets {
+		bodies := workloads.RandomBodies(seed+int64(d)*401, n)
+		b.sets[d] = workloads.BuildBHTree(bodies, b.Theta)
+	}
+}
+
+func checksumForces(sets [][]workloads.Body) uint64 {
+	s := newSum()
+	for _, bodies := range sets {
+		for _, bd := range bodies {
+			s.addFloat(bd.FX)
+			s.addFloat(bd.FY)
+			s.addFloat(bd.FZ)
+		}
+	}
+	return s.value()
+}
+
+// RunNative implements Benchmark.
+func (b *BarnesHut) RunNative() uint64 {
+	out := make([][]workloads.Body, len(b.sets))
+	for d, t := range b.sets {
+		out[d], _ = t.ForcesSeq()
+	}
+	return checksumForces(out)
+}
+
+// annotateForce charges the traversal of `visited` tree nodes for one body:
+// scattered node reads (one line each) plus the per-node arithmetic of the
+// opening test and force accumulation.
+func annotateForce(e *core.Env, treeBase uint64, visited int) {
+	v := int64(visited)
+	e.Read(treeBase, v, 32)
+	e.Compute(ops(4*v, 2*v, 8*v, 5*v, 2*v))
+}
+
+// Program implements Benchmark.
+func (b *BarnesHut) Program(r *rt.Runtime, mode Mode) (func(*core.Env), func() uint64) {
+	if mode == Distributed {
+		return b.programDist(r)
+	}
+	outs := make([][]workloads.Body, len(b.sets))
+	treeBases := make([]uint64, len(b.sets))
+	bodyBases := make([]uint64, len(b.sets))
+
+	var forces func(e *core.Env, g *rt.Group, t *workloads.BHTree, out []workloads.Body, d, lo, hi int)
+	forces = func(e *core.Env, g *rt.Group, t *workloads.BHTree, out []workloads.Body, d, lo, hi int) {
+		for hi-lo > b.Chunk {
+			mid := (lo + hi) / 2
+			lo2, hi2 := mid, hi
+			r.SpawnOrRun(e, g, "bh-forces", 32, func(ce *core.Env) {
+				forces(ce, g, t, out, d, lo2, hi2)
+			})
+			hi = mid
+		}
+		for i := lo; i < hi; i++ {
+			fx, fy, fz, visited := t.ForceOn(i)
+			out[i].FX, out[i].FY, out[i].FZ = fx, fy, fz
+			e.Read(bodyBases[d]+uint64(i)*56, 4, 8)
+			annotateForce(e, treeBases[d], visited)
+			e.Write(bodyBases[d]+uint64(i)*56+32, 3, 8)
+		}
+	}
+
+	root := func(e *core.Env) {
+		for d, t := range b.sets {
+			outs[d] = append([]workloads.Body(nil), t.Bodies...)
+			treeBases[d] = r.Alloc().Alloc(int64(len(t.Nodes)) * 64)
+			bodyBases[d] = r.Alloc().Alloc(int64(len(t.Bodies)) * 56)
+			g := r.NewGroup()
+			forces(e, g, t, outs[d], d, 0, len(t.Bodies))
+			r.Join(e, g)
+		}
+	}
+	finish := func() uint64 { return checksumForces(outs) }
+	return root, finish
+}
+
+// programDist distributes the body array in chunk cells while the tree is
+// broadcast (replicated) as in the paper's setup; tasks pull their body
+// chunk, compute forces against the local tree copy, and write the chunk
+// back.
+func (b *BarnesHut) programDist(r *rt.Runtime) (func(*core.Env), func() uint64) {
+	type chunk struct {
+		lo     int
+		bodies []workloads.Body
+	}
+	chunkCells := make([][]mem.Link, len(b.sets))
+	treeBases := make([]uint64, len(b.sets))
+
+	var run func(e *core.Env, g *rt.Group, t *workloads.BHTree, cells []mem.Link, d, lo, hi int)
+	run = func(e *core.Env, g *rt.Group, t *workloads.BHTree, cells []mem.Link, d, lo, hi int) {
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			lo2, hi2 := mid, hi
+			r.SpawnOrRun(e, g, "bh-chunk", 32, func(ce *core.Env) {
+				run(ce, g, t, cells, d, lo2, hi2)
+			})
+			hi = mid
+		}
+		if hi <= lo {
+			return
+		}
+		r.Access(e, cells[lo], func(data any) any {
+			c := data.(*chunk)
+			for i := range c.bodies {
+				fx, fy, fz, visited := t.ForceOn(c.lo + i)
+				c.bodies[i].FX, c.bodies[i].FY, c.bodies[i].FZ = fx, fy, fz
+				annotateForce(e, treeBases[d], visited)
+			}
+			return c
+		})
+	}
+
+	root := func(e *core.Env) {
+		for d, t := range b.sets {
+			treeBases[d] = r.Alloc().Alloc(int64(len(t.Nodes)) * 64)
+			n := len(t.Bodies)
+			var cells []mem.Link
+			for lo := 0; lo < n; lo += b.Chunk {
+				hi := lo + b.Chunk
+				if hi > n {
+					hi = n
+				}
+				cs := &chunk{lo: lo, bodies: append([]workloads.Body(nil), t.Bodies[lo:hi]...)}
+				cells = append(cells, r.NewCell(e, (hi-lo)*56, cs))
+			}
+			chunkCells[d] = cells
+			g := r.NewGroup()
+			run(e, g, t, cells, d, 0, len(cells))
+			r.Join(e, g)
+		}
+	}
+	finish := func() uint64 {
+		out := make([][]workloads.Body, len(b.sets))
+		for d, cells := range chunkCells {
+			bodies := make([]workloads.Body, len(b.sets[d].Bodies))
+			for _, l := range cells {
+				c := r.CellData(l).(*chunk)
+				copy(bodies[c.lo:], c.bodies)
+			}
+			out[d] = bodies
+		}
+		return checksumForces(out)
+	}
+	return root, finish
+}

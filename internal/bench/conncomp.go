@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"simany/internal/core"
+	"simany/internal/mem"
+	"simany/internal/rt"
+	"simany/internal/workloads"
+)
+
+// ConnComp is the graph Connected Components benchmark (§V): depth-first
+// searches are launched from lots of nodes in parallel; nodes belonging to
+// the same component get tagged repeatedly (the lowest label wins), which
+// creates contention that conditional spawning mitigates.
+type ConnComp struct {
+	// Datasets is the number of random graphs (50 in the paper).
+	Datasets int
+	// Nodes and Edges size each graph (1000 / 2000 in the paper).
+	Nodes, Edges int
+
+	graphs []*workloads.Graph
+}
+
+// NewConnComp returns the benchmark with laptop-scale defaults.
+func NewConnComp() *ConnComp {
+	return &ConnComp{Datasets: 4, Nodes: 400, Edges: 800}
+}
+
+// Name implements Benchmark.
+func (b *ConnComp) Name() string { return "conncomp" }
+
+// Generate implements Benchmark.
+func (b *ConnComp) Generate(seed int64, scale float64) {
+	n := scaleInt(b.Nodes, scale, 16)
+	m := scaleInt(b.Edges, scale, 32)
+	b.graphs = make([]*workloads.Graph, b.Datasets)
+	for d := range b.graphs {
+		b.graphs[d] = workloads.RandomGraph(seed+int64(d)*211, n, m)
+	}
+}
+
+func checksumLabels(all [][]int32) uint64 {
+	s := newSum()
+	for _, labels := range all {
+		for _, l := range labels {
+			s.addInt(int64(l))
+		}
+	}
+	return s.value()
+}
+
+// RunNative implements Benchmark.
+func (b *ConnComp) RunNative() uint64 {
+	out := make([][]int32, len(b.graphs))
+	for d, g := range b.graphs {
+		out[d] = workloads.ConnectedComponentsSeq(g)
+	}
+	return checksumLabels(out)
+}
+
+// annotateVisit charges the per-node work: read the tag, compare, read the
+// adjacency list of deg entries.
+func annotateVisit(e *core.Env, tagAddr uint64, adjBase uint64, u int, deg int) {
+	e.Read(tagAddr, 1, 8)
+	e.Compute(ops(int64(4+2*deg), int64(1+deg), 0, 0, 0))
+	if deg > 0 {
+		e.Read(adjBase+uint64(u)*32, int64(deg), 8)
+	}
+}
+
+// Program implements Benchmark.
+func (b *ConnComp) Program(r *rt.Runtime, mode Mode) (func(*core.Env), func() uint64) {
+	if mode == Distributed {
+		return b.programDist(r)
+	}
+	type sharedState struct {
+		tags    []int32
+		tagBase uint64
+		adjBase uint64
+		locks   []*rt.Lock
+	}
+	states := make([]*sharedState, len(b.graphs))
+
+	var visit func(e *core.Env, g *rt.Group, st *sharedState, gr *workloads.Graph, u int, label int32)
+	visit = func(e *core.Env, g *rt.Group, st *sharedState, gr *workloads.Graph, u int, label int32) {
+		deg := len(gr.Adj[u])
+		annotateVisit(e, st.tagBase+uint64(u)*8, st.adjBase, u, deg)
+		r.AcquireLock(e, st.locks[u])
+		if st.tags[u] <= label {
+			r.ReleaseLock(e, st.locks[u])
+			return
+		}
+		st.tags[u] = label
+		e.Write(st.tagBase+uint64(u)*8, 1, 8)
+		r.ReleaseLock(e, st.locks[u])
+		for _, v := range gr.Adj[u] {
+			v := int(v)
+			r.SpawnOrRun(e, g, "cc-visit", 16, func(ce *core.Env) {
+				visit(ce, g, st, gr, v, label)
+			})
+		}
+	}
+
+	root := func(e *core.Env) {
+		for d, gr := range b.graphs {
+			st := &sharedState{
+				tags:    make([]int32, gr.N),
+				tagBase: r.Alloc().Alloc(int64(gr.N) * 8),
+				adjBase: r.Alloc().Alloc(int64(gr.N) * 32),
+				locks:   make([]*rt.Lock, gr.N),
+			}
+			for i := range st.tags {
+				st.tags[i] = int32(gr.N) // "untagged" sentinel above any label
+				st.locks[i] = r.NewLock()
+			}
+			states[d] = st
+			g := r.NewGroup()
+			// DFS from every node in parallel, labeled by the seed node.
+			for u := 0; u < gr.N; u++ {
+				u := u
+				gr := gr
+				r.SpawnOrRun(e, g, "cc-seed", 16, func(ce *core.Env) {
+					visit(ce, g, st, gr, u, int32(u))
+				})
+			}
+			r.Join(e, g)
+		}
+	}
+	finish := func() uint64 {
+		out := make([][]int32, len(states))
+		for d, st := range states {
+			out[d] = st.tags
+		}
+		return checksumLabels(out)
+	}
+	return root, finish
+}
+
+// programDist keeps each node's tag in a runtime cell; tag updates move the
+// cell to the visiting core, which is exactly the data ping-pong that makes
+// the benchmark's performance collapse on distributed memory (Fig. 9).
+func (b *ConnComp) programDist(r *rt.Runtime) (func(*core.Env), func() uint64) {
+	tagCells := make([][]mem.Link, len(b.graphs))
+
+	var visit func(e *core.Env, g *rt.Group, cells []mem.Link, gr *workloads.Graph, u int, label int32)
+	visit = func(e *core.Env, g *rt.Group, cells []mem.Link, gr *workloads.Graph, u int, label int32) {
+		deg := len(gr.Adj[u])
+		e.Compute(ops(int64(4+2*deg), int64(1+deg), 0, 0, 0))
+		improved := false
+		r.Access(e, cells[u], func(d any) any {
+			if tag := d.(int32); tag > label {
+				improved = true
+				return label
+			}
+			return nil
+		})
+		if !improved {
+			return
+		}
+		for _, v := range gr.Adj[u] {
+			v := int(v)
+			r.SpawnOrRun(e, g, "cc-visit", 16, func(ce *core.Env) {
+				visit(ce, g, cells, gr, v, label)
+			})
+		}
+	}
+
+	root := func(e *core.Env) {
+		for d, gr := range b.graphs {
+			cells := make([]mem.Link, gr.N)
+			for u := 0; u < gr.N; u++ {
+				cells[u] = r.NewCell(e, 8, int32(gr.N))
+			}
+			tagCells[d] = cells
+			g := r.NewGroup()
+			for u := 0; u < gr.N; u++ {
+				u := u
+				gr := gr
+				r.SpawnOrRun(e, g, "cc-seed", 16, func(ce *core.Env) {
+					visit(ce, g, cells, gr, u, int32(u))
+				})
+			}
+			r.Join(e, g)
+		}
+	}
+	finish := func() uint64 {
+		out := make([][]int32, len(tagCells))
+		for d, cells := range tagCells {
+			labels := make([]int32, len(cells))
+			for u := range cells {
+				labels[u] = r.CellData(cells[u]).(int32)
+			}
+			out[d] = labels
+		}
+		return checksumLabels(out)
+	}
+	return root, finish
+}

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"simany/internal/core"
+	"simany/internal/mem"
+	"simany/internal/rt"
+	"simany/internal/workloads"
+)
+
+// Dijkstra is the parallel shortest-paths benchmark of §V (after the
+// Capsule formulation [29]): speculative label-correcting exploration where
+// already explored paths may be explored again when reached with a lower
+// tentative distance, and tasks reaching a near-optimal path terminate
+// quickly, freeing cores for more interesting paths. More cores can
+// *super-linearly* reduce the amount of work because nodes get tagged with
+// good distances sooner (Fig. 8's discussion).
+type Dijkstra struct {
+	// Datasets is the number of random graphs (50 in the paper).
+	Datasets int
+	// Nodes and Edges size each graph (2000 / 3000 avg in the paper).
+	Nodes, Edges int
+	// MaxW is the maximum edge weight.
+	MaxW int
+
+	graphs []*workloads.Graph
+}
+
+// NewDijkstra returns the benchmark with laptop-scale defaults.
+func NewDijkstra() *Dijkstra {
+	return &Dijkstra{Datasets: 4, Nodes: 500, Edges: 750, MaxW: 10}
+}
+
+// Name implements Benchmark.
+func (b *Dijkstra) Name() string { return "dijkstra" }
+
+// Generate implements Benchmark.
+func (b *Dijkstra) Generate(seed int64, scale float64) {
+	n := scaleInt(b.Nodes, scale, 16)
+	m := scaleInt(b.Edges, scale, 24)
+	b.graphs = make([]*workloads.Graph, b.Datasets)
+	for d := range b.graphs {
+		b.graphs[d] = workloads.RandomWeightedGraph(seed+int64(d)*307, n, m, b.MaxW)
+	}
+}
+
+func checksumDists(all [][]int64) uint64 {
+	s := newSum()
+	for _, dist := range all {
+		for _, v := range dist {
+			s.addInt(v)
+		}
+	}
+	return s.value()
+}
+
+// RunNative implements Benchmark.
+func (b *Dijkstra) RunNative() uint64 {
+	out := make([][]int64, len(b.graphs))
+	for d, g := range b.graphs {
+		out[d] = workloads.DijkstraSeq(g, 0)
+	}
+	return checksumDists(out)
+}
+
+const distInf = int64(1) << 62
+
+// Program implements Benchmark.
+func (b *Dijkstra) Program(r *rt.Runtime, mode Mode) (func(*core.Env), func() uint64) {
+	if mode == Distributed {
+		return b.programDist(r)
+	}
+	type state struct {
+		dist     []int64
+		distBase uint64
+		locks    []*rt.Lock
+	}
+	states := make([]*state, len(b.graphs))
+
+	var explore func(e *core.Env, g *rt.Group, st *state, gr *workloads.Graph, u int, d int64)
+	explore = func(e *core.Env, g *rt.Group, st *state, gr *workloads.Graph, u int, d int64) {
+		deg := len(gr.Adj[u])
+		e.Read(st.distBase+uint64(u)*8, 1, 8)
+		e.Compute(ops(int64(4+3*deg), int64(1+deg), 0, 0, 0))
+		r.AcquireLock(e, st.locks[u])
+		if d >= st.dist[u] {
+			// A task encountering an already explored path close to the
+			// optimum terminates quickly, freeing its core.
+			r.ReleaseLock(e, st.locks[u])
+			return
+		}
+		st.dist[u] = d
+		e.Write(st.distBase+uint64(u)*8, 1, 8)
+		r.ReleaseLock(e, st.locks[u])
+		for j, v := range gr.Adj[u] {
+			v := int(v)
+			nd := d + int64(gr.Weights[u][j])
+			r.SpawnOrRun(e, g, "dij-explore", 24, func(ce *core.Env) {
+				explore(ce, g, st, gr, v, nd)
+			})
+		}
+	}
+
+	root := func(e *core.Env) {
+		for di, gr := range b.graphs {
+			st := &state{
+				dist:     make([]int64, gr.N),
+				distBase: r.Alloc().Alloc(int64(gr.N) * 8),
+				locks:    make([]*rt.Lock, gr.N),
+			}
+			for i := range st.dist {
+				st.dist[i] = distInf
+				st.locks[i] = r.NewLock()
+			}
+			states[di] = st
+			g := r.NewGroup()
+			gr := gr
+			r.SpawnOrRun(e, g, "dij-root", 24, func(ce *core.Env) {
+				explore(ce, g, st, gr, 0, 0)
+			})
+			r.Join(e, g)
+		}
+	}
+	finish := func() uint64 {
+		out := make([][]int64, len(states))
+		for d, st := range states {
+			dist := make([]int64, len(st.dist))
+			for i, v := range st.dist {
+				if v == distInf {
+					v = -1
+				}
+				dist[i] = v
+			}
+			out[d] = dist
+		}
+		return checksumDists(out)
+	}
+	return root, finish
+}
+
+// programDist keeps tentative distances in cells; every relaxation drags
+// the node's cell to the exploring core, collapsing performance as in
+// Fig. 9.
+func (b *Dijkstra) programDist(r *rt.Runtime) (func(*core.Env), func() uint64) {
+	distCells := make([][]mem.Link, len(b.graphs))
+
+	var explore func(e *core.Env, g *rt.Group, cells []mem.Link, gr *workloads.Graph, u int, d int64)
+	explore = func(e *core.Env, g *rt.Group, cells []mem.Link, gr *workloads.Graph, u int, d int64) {
+		deg := len(gr.Adj[u])
+		e.Compute(ops(int64(4+3*deg), int64(1+deg), 0, 0, 0))
+		improved := false
+		r.Access(e, cells[u], func(cur any) any {
+			if d < cur.(int64) {
+				improved = true
+				return d
+			}
+			return nil
+		})
+		if !improved {
+			return
+		}
+		for j, v := range gr.Adj[u] {
+			v := int(v)
+			nd := d + int64(gr.Weights[u][j])
+			r.SpawnOrRun(e, g, "dij-explore", 24, func(ce *core.Env) {
+				explore(ce, g, cells, gr, v, nd)
+			})
+		}
+	}
+
+	root := func(e *core.Env) {
+		for di, gr := range b.graphs {
+			cells := make([]mem.Link, gr.N)
+			for u := 0; u < gr.N; u++ {
+				cells[u] = r.NewCell(e, 8, distInf)
+			}
+			distCells[di] = cells
+			g := r.NewGroup()
+			gr := gr
+			r.SpawnOrRun(e, g, "dij-root", 24, func(ce *core.Env) {
+				explore(ce, g, cells, gr, 0, 0)
+			})
+			r.Join(e, g)
+		}
+	}
+	finish := func() uint64 {
+		out := make([][]int64, len(distCells))
+		for d, cells := range distCells {
+			dist := make([]int64, len(cells))
+			for u := range cells {
+				v := r.CellData(cells[u]).(int64)
+				if v == distInf {
+					v = -1
+				}
+				dist[u] = v
+			}
+			out[d] = dist
+		}
+		return checksumDists(out)
+	}
+	return root, finish
+}

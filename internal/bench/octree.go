@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"simany/internal/core"
+	"simany/internal/mem"
+	"simany/internal/rt"
+	"simany/internal/workloads"
+)
+
+// Octree is the tree-traversal benchmark of §V: update all objects within
+// an octree structure, the typical gaming/graphics-generation scenario.
+// Parallelism comes from conditionally spawning a task per subtree.
+type Octree struct {
+	// Datasets is the number of random octrees (50 in the paper).
+	Datasets int
+	// Depth of each octree (6 in the paper).
+	Depth int
+	// Fill is the probability each child exists.
+	Fill float64
+	// MaxObjs bounds the objects stored per node.
+	MaxObjs int
+
+	trees []*workloads.Octree
+}
+
+// NewOctree returns the benchmark with laptop-scale defaults.
+func NewOctree() *Octree {
+	return &Octree{Datasets: 3, Depth: 5, Fill: 0.45, MaxObjs: 4}
+}
+
+// Name implements Benchmark.
+func (b *Octree) Name() string { return "octree" }
+
+// Generate implements Benchmark.
+func (b *Octree) Generate(seed int64, scale float64) {
+	depth := b.Depth
+	if scale >= 2 {
+		depth++ // the paper's full depth-6 trees
+	}
+	b.trees = make([]*workloads.Octree, b.Datasets)
+	for d := range b.trees {
+		b.trees[d] = workloads.RandomOctree(seed+int64(d)*601, depth, b.Fill, b.MaxObjs)
+	}
+}
+
+func (b *Octree) copies() []*workloads.Octree {
+	out := make([]*workloads.Octree, len(b.trees))
+	for d, t := range b.trees {
+		ct := &workloads.Octree{Depth: t.Depth, Nodes: make([]workloads.OctreeNode, len(t.Nodes))}
+		for i, n := range t.Nodes {
+			cn := n
+			cn.Objects = append([]int64(nil), n.Objects...)
+			ct.Nodes[i] = cn
+		}
+		out[d] = ct
+	}
+	return out
+}
+
+func checksumTrees(trees []*workloads.Octree) uint64 {
+	s := newSum()
+	for _, t := range trees {
+		s.addInt(t.Checksum())
+	}
+	return s.value()
+}
+
+// RunNative implements Benchmark.
+func (b *Octree) RunNative() uint64 {
+	trees := b.copies()
+	for _, t := range trees {
+		t.UpdateSeq()
+	}
+	return checksumTrees(trees)
+}
+
+// annotateUpdate charges the per-node work: read the node header and its
+// objects, the xorshift update per object, write the objects back.
+func annotateUpdate(e *core.Env, nodeAddr uint64, nObjs int64) {
+	e.Read(nodeAddr, 4, 8)
+	e.Read(nodeAddr+64, nObjs, 8)
+	e.Compute(ops(6*nObjs+8, 8, 0, 0, 0))
+	e.Write(nodeAddr+64, nObjs, 8)
+}
+
+// Program implements Benchmark.
+func (b *Octree) Program(r *rt.Runtime, mode Mode) (func(*core.Env), func() uint64) {
+	if mode == Distributed {
+		return b.programDist(r)
+	}
+	trees := b.copies()
+	bases := make([]uint64, len(trees))
+
+	var update func(e *core.Env, g *rt.Group, t *workloads.Octree, d int, node int32)
+	update = func(e *core.Env, g *rt.Group, t *workloads.Octree, d int, node int32) {
+		n := &t.Nodes[node]
+		for j, v := range n.Objects {
+			n.Objects[j] = workloads.UpdateObject(v)
+		}
+		annotateUpdate(e, bases[d]+uint64(node)*128, int64(len(n.Objects)))
+		for _, c := range n.Children {
+			if c < 0 {
+				continue
+			}
+			c := c
+			r.SpawnOrRun(e, g, "octree-sub", 16, func(ce *core.Env) {
+				update(ce, g, t, d, c)
+			})
+		}
+	}
+
+	root := func(e *core.Env) {
+		for d, t := range trees {
+			bases[d] = r.Alloc().Alloc(int64(len(t.Nodes)) * 128)
+			g := r.NewGroup()
+			update(e, g, t, d, 0)
+			r.Join(e, g)
+		}
+	}
+	finish := func() uint64 { return checksumTrees(trees) }
+	return root, finish
+}
+
+// programDist stores each node's objects in a cell; subtree tasks pull
+// their node's cell to their core, update it, and spawn the children.
+func (b *Octree) programDist(r *rt.Runtime) (func(*core.Env), func() uint64) {
+	trees := b.copies()
+	nodeCells := make([][]mem.Link, len(trees))
+
+	var update func(e *core.Env, g *rt.Group, t *workloads.Octree, cells []mem.Link, node int32)
+	update = func(e *core.Env, g *rt.Group, t *workloads.Octree, cells []mem.Link, node int32) {
+		r.Access(e, cells[node], func(data any) any {
+			objs := data.([]int64)
+			for j, v := range objs {
+				objs[j] = workloads.UpdateObject(v)
+			}
+			e.Compute(ops(6*int64(len(objs))+8, 8, 0, 0, 0))
+			return objs
+		})
+		for _, c := range t.Nodes[node].Children {
+			if c < 0 {
+				continue
+			}
+			c := c
+			r.SpawnOrRun(e, g, "octree-sub", 16, func(ce *core.Env) {
+				update(ce, g, t, cells, c)
+			})
+		}
+	}
+
+	root := func(e *core.Env) {
+		for d, t := range trees {
+			cells := make([]mem.Link, len(t.Nodes))
+			for i := range t.Nodes {
+				cells[i] = r.NewCell(e, len(t.Nodes[i].Objects)*8+32, t.Nodes[i].Objects)
+			}
+			nodeCells[d] = cells
+			g := r.NewGroup()
+			update(e, g, t, cells, 0)
+			r.Join(e, g)
+		}
+	}
+	finish := func() uint64 {
+		// Fold the cell contents back into the trees for checksumming.
+		for d, t := range trees {
+			for i := range t.Nodes {
+				t.Nodes[i].Objects = r.CellData(nodeCells[d][i]).([]int64)
+			}
+		}
+		return checksumTrees(trees)
+	}
+	return root, finish
+}

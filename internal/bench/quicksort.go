@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"sort"
+
+	"simany/internal/core"
+	"simany/internal/mem"
+	"simany/internal/rt"
+	"simany/internal/workloads"
+)
+
+// Quicksort is the paper's Quicksort pair (§V): the shared-memory version
+// works on arrays and spawns a task for one sub-array after each pivot
+// step; the distributed version is an adaptation to lists whose distributed
+// pivot steps gradually construct a binary search tree — browsing the list
+// in order is then tantamount to traversing the tree.
+type Quicksort struct {
+	// Datasets is the number of arrays/lists sorted (50 in the paper).
+	Datasets int
+	// N is the number of elements per dataset (100,000 in the paper).
+	N int
+	// Grain is the sub-array size below which sorting is sequential.
+	Grain int
+
+	inputs [][]int64
+}
+
+// NewQuicksort returns the benchmark with laptop-scale defaults.
+func NewQuicksort() *Quicksort {
+	return &Quicksort{Datasets: 4, N: 20000, Grain: 512}
+}
+
+// Name implements Benchmark.
+func (b *Quicksort) Name() string { return "quicksort" }
+
+// Generate implements Benchmark.
+func (b *Quicksort) Generate(seed int64, scale float64) {
+	n := scaleInt(b.N, scale, 64)
+	b.inputs = make([][]int64, b.Datasets)
+	for d := range b.inputs {
+		b.inputs[d] = workloads.RandomArray(seed+int64(d)*101, n)
+	}
+}
+
+func (b *Quicksort) copies() [][]int64 {
+	out := make([][]int64, len(b.inputs))
+	for d := range b.inputs {
+		out[d] = append([]int64(nil), b.inputs[d]...)
+	}
+	return out
+}
+
+func checksumSorted(arrs [][]int64) uint64 {
+	s := newSum()
+	for _, a := range arrs {
+		for _, v := range a {
+			s.addInt(v)
+		}
+		// Positional hash certifies the ordering, not just the multiset.
+		for i := 0; i < len(a); i += 97 {
+			s.addInt(int64(i) ^ a[i])
+		}
+	}
+	return s.value()
+}
+
+// RunNative implements Benchmark.
+func (b *Quicksort) RunNative() uint64 {
+	arrs := b.copies()
+	for _, a := range arrs {
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	}
+	return checksumSorted(arrs)
+}
+
+// partition performs one pivot step (Hoare-style with the last element as
+// pivot) and returns the pivot position.
+func partition(a []int64, lo, hi int) int {
+	p := a[hi-1]
+	i := lo
+	for j := lo; j < hi-1; j++ {
+		if a[j] < p {
+			a[i], a[j] = a[j], a[i]
+			i++
+		}
+	}
+	a[i], a[hi-1] = a[hi-1], a[i]
+	return i
+}
+
+// annotatePartition charges the pivot scan of k elements: one read pass,
+// compare-and-maybe-swap per element, roughly half the elements written.
+func annotatePartition(e *core.Env, base uint64, lo, k int) {
+	e.Read(base+uint64(lo)*8, int64(k), 8)
+	e.Compute(ops(int64(2*k), int64(k), 0, 0, 0))
+	e.Write(base+uint64(lo)*8, int64(k/2), 8)
+}
+
+// annotateInsertionSort charges the sequential base case (≈ k²/4 compares
+// and moves).
+func annotateInsertionSort(e *core.Env, base uint64, lo, k int) {
+	q := int64(k) * int64(k) / 4
+	e.Read(base+uint64(lo)*8, int64(k), 8)
+	e.Compute(ops(2*q, q, 0, 0, 0))
+	e.Write(base+uint64(lo)*8, int64(k), 8)
+}
+
+// Program implements Benchmark.
+func (b *Quicksort) Program(r *rt.Runtime, mode Mode) (func(*core.Env), func() uint64) {
+	if mode == Distributed {
+		return b.programDist(r)
+	}
+	arrs := b.copies()
+	bases := make([]uint64, len(arrs))
+	for d := range arrs {
+		bases[d] = r.Alloc().Alloc(int64(len(arrs[d])) * 8)
+	}
+	var qsort func(e *core.Env, g *rt.Group, a []int64, base uint64, lo, hi int)
+	qsort = func(e *core.Env, g *rt.Group, a []int64, base uint64, lo, hi int) {
+		for hi-lo > b.Grain {
+			p := partition(a, lo, hi)
+			annotatePartition(e, base, lo, hi-lo)
+			// Spawn a task for one sub-array, continue on the other
+			// (paper: "spawns a new task to handle one of the sub-arrays
+			// after each pivot step").
+			left, right := p, hi
+			lo2 := p + 1
+			r.SpawnOrRun(e, g, "qsort", 24, func(ce *core.Env) {
+				qsort(ce, g, a, base, lo2, right)
+			})
+			hi = left
+		}
+		if hi-lo > 1 {
+			k := hi - lo
+			sub := a[lo:hi]
+			sort.Slice(sub, func(i, j int) bool { return sub[i] < sub[j] })
+			annotateInsertionSort(e, base, lo, k)
+		}
+	}
+	root := func(e *core.Env) {
+		for d := range arrs {
+			g := r.NewGroup()
+			d := d
+			qsort(e, g, arrs[d], bases[d], 0, len(arrs[d]))
+			r.Join(e, g)
+		}
+	}
+	finish := func() uint64 { return checksumSorted(arrs) }
+	return root, finish
+}
+
+// qnode is one BST node of the distributed list version.
+type qnode struct {
+	pivot       int64
+	left, right mem.Link // subtree cells (nil links = empty)
+	leaf        []int64  // sorted elements for leaf nodes
+}
+
+// programDist builds the distributed list variant: each task receives a
+// list fragment in a cell, performs a distributed pivot step creating a BST
+// node, and spawns tasks for the two sub-lists to avoid transferring whole
+// sub-arrays (§V).
+func (b *Quicksort) programDist(r *rt.Runtime) (func(*core.Env), func() uint64) {
+	inputs := b.copies()
+	roots := make([]mem.Link, len(inputs))
+
+	var sortList func(e *core.Env, g *rt.Group, node mem.Link)
+	sortList = func(e *core.Env, g *rt.Group, node mem.Link) {
+		var vals []int64
+		r.Access(e, node, func(d any) any {
+			n := d.(*qnode)
+			vals = n.leaf
+			return nil
+		})
+		k := len(vals)
+		if k <= b.Grain {
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			annotateInsertionSort(e, 0, 0, k)
+			r.Access(e, node, func(d any) any {
+				n := d.(*qnode)
+				n.leaf = vals
+				return n
+			})
+			return
+		}
+		// Distributed pivot step: split the list around the pivot into
+		// two fresh cells; the node keeps only the pivot.
+		pivot := vals[k-1]
+		var lows, highs []int64
+		for _, v := range vals[:k-1] {
+			if v < pivot {
+				lows = append(lows, v)
+			} else {
+				highs = append(highs, v)
+			}
+		}
+		e.Compute(ops(int64(2*k), int64(k), 0, 0, 0))
+		leftLink := r.NewCell(e, len(lows)*8+16, &qnode{leaf: lows})
+		rightLink := r.NewCell(e, len(highs)*8+16, &qnode{leaf: highs})
+		r.Access(e, node, func(d any) any {
+			n := d.(*qnode)
+			n.pivot = pivot
+			n.leaf = nil
+			n.left, n.right = leftLink, rightLink
+			return n
+		})
+		r.SpawnOrRun(e, g, "qsort-lo", 16, func(ce *core.Env) {
+			sortList(ce, g, leftLink)
+		})
+		sortList(e, g, rightLink)
+	}
+
+	root := func(e *core.Env) {
+		for d := range inputs {
+			roots[d] = r.NewCell(e, len(inputs[d])*8+16, &qnode{leaf: inputs[d]})
+			g := r.NewGroup()
+			sortList(e, g, roots[d])
+			r.Join(e, g)
+		}
+	}
+	finish := func() uint64 {
+		// Browsing the list in order is traversing the constructed BST.
+		out := make([][]int64, len(roots))
+		var walk func(l mem.Link, acc []int64) []int64
+		walk = func(l mem.Link, acc []int64) []int64 {
+			if l.Nil() {
+				return acc
+			}
+			n := r.CellData(l).(*qnode)
+			if n.leaf != nil || (n.left.Nil() && n.right.Nil()) {
+				return append(acc, n.leaf...)
+			}
+			acc = walk(n.left, acc)
+			acc = append(acc, n.pivot)
+			return walk(n.right, acc)
+		}
+		for d := range roots {
+			out[d] = walk(roots[d], nil)
+		}
+		return checksumSorted(out)
+	}
+	return root, finish
+}

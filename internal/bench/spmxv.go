@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"simany/internal/core"
+	"simany/internal/mem"
+	"simany/internal/rt"
+	"simany/internal/workloads"
+)
+
+// SpMxV is the sparse matrix-vector multiply benchmark (§V): matrices in
+// the row-oriented Harwell-Boeing-like format, half the random group
+// averaging 50 non-null coefficients per row and the other half 100. It
+// exhibits no data contention and little data movement, which makes it
+// representative of the simulator's intrinsic behaviour (§VI).
+type SpMxV struct {
+	// Datasets is the number of matrices.
+	Datasets int
+	// Rows (= Cols) per matrix (10^6 in the paper).
+	Rows int
+	// NNZLow/NNZHigh: average coefficients per row for the two halves of
+	// the dataset group (50 and 100 in the paper).
+	NNZLow, NNZHigh int
+	// RowChunk is the number of rows per leaf task.
+	RowChunk int
+
+	mats []*workloads.SparseMatrix
+	xs   [][]float64
+}
+
+// NewSpMxV returns the benchmark with laptop-scale defaults.
+func NewSpMxV() *SpMxV {
+	return &SpMxV{Datasets: 4, Rows: 1200, NNZLow: 12, NNZHigh: 24, RowChunk: 32}
+}
+
+// Name implements Benchmark.
+func (b *SpMxV) Name() string { return "spmxv" }
+
+// Generate implements Benchmark.
+func (b *SpMxV) Generate(seed int64, scale float64) {
+	rows := scaleInt(b.Rows, scale, 64)
+	b.mats = make([]*workloads.SparseMatrix, b.Datasets)
+	b.xs = make([][]float64, b.Datasets)
+	for d := range b.mats {
+		nnz := b.NNZLow
+		if d >= b.Datasets/2 {
+			nnz = b.NNZHigh
+		}
+		b.mats[d] = workloads.RandomSparse(seed+int64(d)*503, rows, rows, nnz)
+		x := make([]float64, rows)
+		rng := workloads.RandomArray(seed+int64(d)*503+7, rows)
+		for i := range x {
+			x[i] = float64(rng[i]%1000) / 999.0
+		}
+		b.xs[d] = x
+	}
+}
+
+func checksumVectors(ys [][]float64) uint64 {
+	s := newSum()
+	for _, y := range ys {
+		for _, v := range y {
+			s.addFloat(v)
+		}
+	}
+	return s.value()
+}
+
+// RunNative implements Benchmark.
+func (b *SpMxV) RunNative() uint64 {
+	ys := make([][]float64, len(b.mats))
+	for d, m := range b.mats {
+		ys[d] = m.MultiplySeq(b.xs[d])
+	}
+	return checksumVectors(ys)
+}
+
+// annotateRow charges one row of k coefficients: streaming reads of the
+// values and column indices, a scattered gather of x (one line per
+// element), the multiply-accumulate chain and the y store.
+func annotateRow(e *core.Env, valsBase, colBase, xBase, yAddr uint64, off int64, k int64) {
+	if k > 0 {
+		e.Read(valsBase+uint64(off)*8, k, 8)
+		e.Read(colBase+uint64(off)*4, k, 4)
+		e.Read(xBase, k, 32) // gather: pessimistically one line per element
+	}
+	e.Compute(ops(2*k+4, k+1, k, k, 0))
+	e.Write(yAddr, 1, 8)
+}
+
+// Program implements Benchmark.
+func (b *SpMxV) Program(r *rt.Runtime, mode Mode) (func(*core.Env), func() uint64) {
+	if mode == Distributed {
+		return b.programDist(r)
+	}
+	ys := make([][]float64, len(b.mats))
+	type bases struct{ vals, cols, x, y uint64 }
+	bs := make([]bases, len(b.mats))
+
+	var mult func(e *core.Env, g *rt.Group, d, lo, hi int)
+	mult = func(e *core.Env, g *rt.Group, d, lo, hi int) {
+		m := b.mats[d]
+		for hi-lo > b.RowChunk {
+			mid := (lo + hi) / 2
+			lo2, hi2 := mid, hi
+			r.SpawnOrRun(e, g, "spmxv-rows", 24, func(ce *core.Env) {
+				mult(ce, g, d, lo2, hi2)
+			})
+			hi = mid
+		}
+		x := b.xs[d]
+		for row := lo; row < hi; row++ {
+			var acc float64
+			off := m.RowPtr[row]
+			k := m.RowPtr[row+1] - off
+			for i := off; i < off+k; i++ {
+				acc += m.Vals[i] * x[m.ColIdx[i]]
+			}
+			ys[d][row] = acc
+			annotateRow(e, bs[d].vals, bs[d].cols, bs[d].x, bs[d].y+uint64(row)*8, off, k)
+		}
+	}
+
+	root := func(e *core.Env) {
+		for d, m := range b.mats {
+			ys[d] = make([]float64, m.Rows)
+			bs[d] = bases{
+				vals: r.Alloc().Alloc(m.NNZ() * 8),
+				cols: r.Alloc().Alloc(m.NNZ() * 4),
+				x:    r.Alloc().Alloc(int64(m.Cols) * 8),
+				y:    r.Alloc().Alloc(int64(m.Rows) * 8),
+			}
+			g := r.NewGroup()
+			mult(e, g, d, 0, m.Rows)
+			r.Join(e, g)
+		}
+	}
+	finish := func() uint64 { return checksumVectors(ys) }
+	return root, finish
+}
+
+// programDist stores row blocks in cells created on the root core; each
+// task fetches its block once (a single transfer), multiplies against the
+// replicated x vector, and leaves y in the block cell — little data
+// movement and no contention, hence the near-identical scalability of
+// Fig. 9 for this benchmark.
+func (b *SpMxV) programDist(r *rt.Runtime) (func(*core.Env), func() uint64) {
+	type block struct {
+		lo, hi int
+		y      []float64
+	}
+	blockCells := make([][]mem.Link, len(b.mats))
+
+	var run func(e *core.Env, g *rt.Group, d int, cells []mem.Link, lo, hi int)
+	run = func(e *core.Env, g *rt.Group, d int, cells []mem.Link, lo, hi int) {
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			lo2, hi2 := mid, hi
+			r.SpawnOrRun(e, g, "spmxv-block", 24, func(ce *core.Env) {
+				run(ce, g, d, cells, lo2, hi2)
+			})
+			hi = mid
+		}
+		if hi <= lo {
+			return
+		}
+		m := b.mats[d]
+		x := b.xs[d]
+		r.Access(e, cells[lo], func(data any) any {
+			blk := data.(*block)
+			for row := blk.lo; row < blk.hi; row++ {
+				var acc float64
+				off := m.RowPtr[row]
+				k := m.RowPtr[row+1] - off
+				for i := off; i < off+k; i++ {
+					acc += m.Vals[i] * x[m.ColIdx[i]]
+				}
+				blk.y[row-blk.lo] = acc
+				annotateRow(e, 0, 1<<20, 1<<21, 1<<22+uint64(row)*8, off, k)
+			}
+			return blk
+		})
+	}
+
+	root := func(e *core.Env) {
+		for d, m := range b.mats {
+			var cells []mem.Link
+			for lo := 0; lo < m.Rows; lo += b.RowChunk {
+				hi := lo + b.RowChunk
+				if hi > m.Rows {
+					hi = m.Rows
+				}
+				nnz := m.RowPtr[hi] - m.RowPtr[lo]
+				cells = append(cells, r.NewCell(e, int(nnz)*12+(hi-lo)*8,
+					&block{lo: lo, hi: hi, y: make([]float64, hi-lo)}))
+			}
+			blockCells[d] = cells
+			g := r.NewGroup()
+			run(e, g, d, cells, 0, len(cells))
+			r.Join(e, g)
+		}
+	}
+	finish := func() uint64 {
+		ys := make([][]float64, len(b.mats))
+		for d, cells := range blockCells {
+			y := make([]float64, b.mats[d].Rows)
+			for _, l := range cells {
+				blk := r.CellData(l).(*block)
+				copy(y[blk.lo:blk.hi], blk.y)
+			}
+			ys[d] = y
+		}
+		return checksumVectors(ys)
+	}
+	return root, finish
+}

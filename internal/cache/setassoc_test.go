@@ -1,0 +1,123 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSetAssocBasics(t *testing.T) {
+	// 2 sets × 2 ways, 32B lines (128B capacity).
+	c := NewSetAssoc(128, 32, 2)
+	if c.Ways() != 2 || c.Sets() != 2 {
+		t.Fatalf("geometry %dx%d", c.Sets(), c.Ways())
+	}
+	if c.Access(0) {
+		t.Error("cold miss expected")
+	}
+	if !c.Access(0) {
+		t.Error("warm hit expected")
+	}
+	if !c.Access(16) {
+		t.Error("same-line hit expected")
+	}
+}
+
+func TestSetAssocLRUReplacement(t *testing.T) {
+	// 1 set × 2 ways: lines 0, 2, 4 map to set 0 (line addr mod 1 = 0
+	// always with a single set).
+	c := NewSetAssoc(64, 32, 2)
+	if c.Sets() != 1 {
+		t.Fatalf("sets = %d", c.Sets())
+	}
+	c.Access(0 * 32) // lines: [0]
+	c.Access(1 * 32) // [1 0]
+	c.Access(0 * 32) // [0 1] — 0 becomes MRU
+	c.Access(2 * 32) // evicts LRU (1): [2 0]
+	if c.Access(1 * 32) {
+		t.Error("line 1 should have been evicted (it was LRU)")
+	}
+	if !c.Access(2 * 32) {
+		t.Error("line 2 should be resident")
+	}
+	// Line 0 was evicted when 1 was refetched ([1 2]).
+	if c.Access(0 * 32) {
+		t.Error("line 0 should have been evicted")
+	}
+}
+
+func TestSetAssocBeatsDirectMappedOnConflicts(t *testing.T) {
+	// Two lines that conflict in a direct-mapped cache coexist in a 2-way.
+	dm := NewDirectMapped(128, 32) // 4 lines
+	sa := NewSetAssoc(128, 32, 2)  // 2 sets × 2 ways
+	for i := 0; i < 10; i++ {
+		dm.Access(0)
+		dm.Access(128) // same DM index as 0
+		sa.Access(0)
+		sa.Access(128) // same set, different way
+	}
+	_, dmMiss := dm.Stats()
+	_, saMiss := sa.Stats()
+	if saMiss >= dmMiss {
+		t.Errorf("set-assoc misses %d not below direct-mapped %d", saMiss, dmMiss)
+	}
+	if saMiss != 2 {
+		t.Errorf("set-assoc should only cold-miss twice, got %d", saMiss)
+	}
+}
+
+func TestSetAssocInvalidateAndFlush(t *testing.T) {
+	c := NewSetAssoc(256, 32, 4)
+	c.Access(64)
+	c.InvalidateLine(LineOf(64, 32))
+	if c.Access(64) {
+		t.Error("invalidated line should miss")
+	}
+	c.InvalidateLine(LineOf(9999, 32)) // absent: no-op
+	c.Flush()
+	if c.Access(64) {
+		t.Error("flushed cache should miss")
+	}
+}
+
+func TestSetAssocDegenerateGeometry(t *testing.T) {
+	// Tiny capacity still yields at least one set of `ways` ways.
+	c := NewSetAssoc(8, 32, 4)
+	if c.Sets() < 1 || c.Ways() != 4 {
+		t.Fatalf("geometry %dx%d", c.Sets(), c.Ways())
+	}
+	c.Access(0)
+	if !c.Access(0) {
+		t.Error("single line must still hit")
+	}
+	// Zero/negative ways clamp to 1.
+	c2 := NewSetAssoc(128, 32, 0)
+	if c2.Ways() != 1 {
+		t.Errorf("ways = %d", c2.Ways())
+	}
+}
+
+// Property: a set-associative cache of the same capacity never has a lower
+// hit count than direct-mapped on the same trace... is NOT universally true
+// (Belady anomalies exist for LRU vs direct placement), so instead check
+// internal consistency: hits+misses equals accesses and a repeated
+// immediately-preceding address always hits.
+func TestSetAssocConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	c := NewSetAssoc(512, 32, 4)
+	accesses := int64(0)
+	for i := 0; i < 5000; i++ {
+		addr := uint64(rng.Intn(4096))
+		c.Access(addr)
+		accesses++
+		if rng.Intn(4) == 0 {
+			if !c.Access(addr) {
+				t.Fatal("immediate re-access must hit")
+			}
+			accesses++
+		}
+	}
+	h, m := c.Stats()
+	if h+m != accesses {
+		t.Fatalf("hits %d + misses %d != accesses %d", h, m, accesses)
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"simany/internal/cache"
+	"simany/internal/timing"
+	"simany/internal/vtime"
+)
+
+// Core is the simulation state of one simulated processor core.
+type Core struct {
+	// ID is the core index in the topology.
+	ID int
+	// Speed is the computing-power factor of the core (1.0 for base cores;
+	// the paper's polymorphic architectures use 0.5 and 1.5). Computation
+	// costs are divided by Speed.
+	Speed float64
+
+	k *Kernel
+
+	vt   vtime.Time // current virtual time (meaningful while busy)
+	idle bool
+	eff  vtime.Time // advertised effective time (vt when busy, shadow when idle)
+
+	neighbors []int        // topological neighbors (sorted)
+	nbEff     []vtime.Time // proxies of the neighbors' effective times
+
+	// Resident tasks.
+	current *Task   // task that yielded as stalled, resumed first
+	conts   []*Task // unblocked continuations (run before fresh tasks)
+	ready   []*Task // fresh tasks in arrival order
+
+	lockDepth int // >0: lock-holder exemption from spatial stalls
+
+	births     map[uint64]vtime.Time // birth stamps of spawned, not-yet-started tasks
+	birthCache vtime.Time            // min of births, Inf if none
+	birthDirty bool
+
+	// Timing machinery.
+	timer *timing.BlockTimer
+	l1    *cache.Scoped
+	l2    *cache.L2
+
+	stats CoreStats
+}
+
+// CoreStats aggregates per-core counters.
+type CoreStats struct {
+	Blocks        int64 // annotation blocks executed
+	Instructions  int64
+	Stalls        int64 // spatial/policy stalls
+	TaskStarts    int64
+	Switches      int64 // context switches to resumed continuations
+	MsgsSent      int64
+	ComputeTime   vtime.Time // virtual time spent computing
+	MemTime       vtime.Time // virtual time spent in memory accesses
+	StallWaitTime vtime.Time // not simulated time; count of stall events only
+}
+
+// VT returns the core's current virtual time.
+func (c *Core) VT() vtime.Time { return c.vt }
+
+// Kernel returns the owning kernel.
+func (c *Core) Kernel() *Kernel { return c.k }
+
+// Eff returns the effective time the core advertises to its neighbors.
+func (c *Core) Eff() vtime.Time { return c.eff }
+
+// Idle reports whether the core has no runnable or stalled resident task.
+func (c *Core) Idle() bool { return c.idle }
+
+// LockDepth returns the number of locks currently held by tasks on this
+// core.
+func (c *Core) LockDepth() int { return c.lockDepth }
+
+// Stats returns a copy of the core's counters.
+func (c *Core) Stats() CoreStats { return c.stats }
+
+// Neighbors returns the core's topological neighbors.
+func (c *Core) Neighbors() []int { return c.neighbors }
+
+// L1 returns the core's pessimistic scoped L1 model.
+func (c *Core) L1() *cache.Scoped { return c.l1 }
+
+// L2 returns the core's L2 model (used by the distributed-memory runtime).
+func (c *Core) L2() *cache.L2 { return c.l2 }
+
+// minNeighborEff returns the minimum advertised effective time among the
+// core's neighbors, Inf if it has none.
+func (c *Core) minNeighborEff() vtime.Time {
+	m := vtime.Inf
+	for _, t := range c.nbEff {
+		if t < m {
+			m = t
+		}
+	}
+	return m
+}
+
+// minBirth returns the minimum outstanding birth stamp, Inf if none.
+func (c *Core) minBirth() vtime.Time {
+	if !c.birthDirty {
+		return c.birthCache
+	}
+	m := vtime.Inf
+	for _, t := range c.births {
+		if t < m {
+			m = t
+		}
+	}
+	c.birthCache = m
+	c.birthDirty = false
+	return m
+}
+
+// addBirth records the birth stamp of a task spawned by this core that has
+// not started executing yet (§II.A "Time drift of dynamically created
+// tasks").
+func (c *Core) addBirth(id uint64, stamp vtime.Time) {
+	if c.births == nil {
+		c.births = make(map[uint64]vtime.Time)
+	}
+	c.births[id] = stamp
+	c.birthDirty = true
+}
+
+// removeBirth discards a birth stamp once the spawned task has started.
+func (c *Core) removeBirth(id uint64) {
+	if _, ok := c.births[id]; ok {
+		delete(c.births, id)
+		c.birthDirty = true
+	}
+}
+
+// hasRunnableWork reports whether the core has anything to execute.
+func (c *Core) hasRunnableWork() bool {
+	return c.current != nil || len(c.conts) > 0 || len(c.ready) > 0
+}
+
+// residentTasks counts tasks attached to the core in any state, used for
+// occupancy probes by the task runtime.
+func (c *Core) residentTasks() int {
+	n := len(c.conts) + len(c.ready)
+	if c.current != nil {
+		n++
+	}
+	return n
+}
+
+// QueueLength returns the number of fresh tasks waiting in the core's task
+// queue (the quantity bounded by the runtime's queue capacity).
+func (c *Core) QueueLength() int { return len(c.ready) }
+
+// NextEventTime returns the earliest virtual time at which the core could
+// execute something: its clock while busy, the earliest pending task stamp
+// while it only has queued work, and Inf when it is fully idle. Global
+// synchronization schemes use it as the core's position in virtual time.
+func (c *Core) NextEventTime() vtime.Time {
+	if !c.idle {
+		return c.vt
+	}
+	m := vtime.Inf
+	for _, t := range c.conts {
+		if t.resume < m {
+			m = t.resume
+		}
+	}
+	for _, t := range c.ready {
+		if t.arrival < m {
+			m = t.arrival
+		}
+	}
+	if m == vtime.Inf {
+		return m
+	}
+	return vtime.Max(c.vt, m)
+}

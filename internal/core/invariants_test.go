@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"simany/internal/network"
+	"simany/internal/topology"
+	"simany/internal/vtime"
+)
+
+// TestAccessors covers the public state getters against a live kernel.
+func TestAccessors(t *testing.T) {
+	topo := topology.Mesh(4)
+	k := New(Config{Topo: topo, Seed: 1})
+	if k.NumCores() != 4 || k.Topology() != topo {
+		t.Error("kernel accessors")
+	}
+	if k.Rand() == nil || k.Network() == nil {
+		t.Error("nil accessors")
+	}
+	c := k.Core(2)
+	if c.Kernel() != k || c.ID != 2 {
+		t.Error("core accessors")
+	}
+	if !c.Idle() || c.LockDepth() != 0 || c.QueueLength() != 0 {
+		t.Error("fresh core state")
+	}
+	if len(c.Neighbors()) != topo.Degree(2) {
+		t.Error("neighbors")
+	}
+	if c.L1() == nil || c.L2() == nil {
+		t.Error("cache accessors")
+	}
+	if c.NextEventTime() != vtime.Inf {
+		t.Error("idle core next event should be Inf")
+	}
+	if k.GlobalMinTime() != vtime.Inf {
+		t.Error("empty kernel global min should be Inf")
+	}
+	if k.BusyMinVT() != vtime.Inf {
+		t.Error("no busy core yet")
+	}
+	if k.MaxTime() != 0 {
+		t.Error("fresh max time")
+	}
+	k.InjectTask(2, "w", func(e *Env) {
+		if e.Kernel() != k || e.CoreID() != 2 || e.Task() == nil {
+			t.Error("env accessors")
+		}
+		if c.Idle() || c.Eff() != c.VT() {
+			t.Error("busy core must advertise its own clock")
+		}
+		e.ComputeCycles(10)
+	}, nil, vtime.CyclesInt(5))
+	if got := c.NextEventTime(); got != vtime.CyclesInt(5) {
+		t.Errorf("pending next event = %v", got)
+	}
+	if got := k.GlobalMinTime(); got != vtime.CyclesInt(5) {
+		t.Errorf("global min = %v", got)
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.MaxTime() == 0 {
+		t.Error("max time not updated")
+	}
+}
+
+// TestDriftBoundRandomTopologies checks the paper's global guarantee on
+// random connected networks: at every observation point the spread between
+// any two active cores' clocks stays within diameter × T plus one block.
+func TestDriftBoundRandomTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 10; iter++ {
+		n := 3 + rng.Intn(10)
+		topo := topology.New(n, "rand")
+		for v := 1; v < n; v++ {
+			topo.AddLink(v, rng.Intn(v), topology.DefaultLatency, topology.DefaultBandwidth)
+		}
+		for e := 0; e < n/2; e++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				topo.AddLink(a, b, topology.DefaultLatency, topology.DefaultBandwidth)
+			}
+		}
+		T := vtime.CyclesInt(40)
+		block := vtime.CyclesInt(15)
+		k := New(Config{Topo: topo, Policy: Spatial{T: T}, Seed: int64(iter)})
+		type rec struct {
+			core int
+			vt   vtime.Time
+		}
+		var log []rec
+		for c := 0; c < n; c++ {
+			c := c
+			k.InjectTask(c, "w", func(e *Env) {
+				for i := 0; i < 60; i++ {
+					e.ComputeCycles(15)
+					log = append(log, rec{c, e.Now()})
+				}
+			}, nil, 0)
+		}
+		if _, err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		limit := vtime.Time(topo.Diameter())*T + 2*block + T
+		last := make(map[int]vtime.Time)
+		for _, r := range log {
+			last[r.core] = r.vt
+			if len(last) < n {
+				continue
+			}
+			lo, hi := vtime.Inf, vtime.Time(0)
+			for _, v := range last {
+				lo, hi = vtime.Min(lo, v), vtime.Max(hi, v)
+			}
+			if hi-lo > limit {
+				t.Fatalf("iter %d: drift %v exceeds bound %v (diam %d)",
+					iter, hi-lo, limit, topo.Diameter())
+			}
+		}
+	}
+}
+
+// TestDeterministicAcrossSeedsProperty: the same seed yields the same
+// final virtual time; different seeds are allowed to differ but must still
+// complete.
+func TestDeterministicAcrossSeedsProperty(t *testing.T) {
+	run := func(seed int64) vtime.Time {
+		k := New(Config{Topo: topology.Mesh(4), Policy: Spatial{T: DefaultT}, Seed: seed})
+		for c := 0; c < 4; c++ {
+			c := c
+			k.InjectTask(c, "w", func(e *Env) {
+				for i := 0; i < 10; i++ {
+					var counts [8]int64
+					counts[7] = 20 // conditional branches: predictor uses seed
+					e.Compute(counts)
+					e.ComputeCycles(float64(5 + c))
+				}
+			}, nil, 0)
+		}
+		res, err := k.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalVT
+	}
+	f := func(seed int16) bool {
+		return run(int64(seed)) == run(int64(seed))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBlockedOnlyCoreActsIdle: a core whose tasks are all blocked
+// advertises a shadow time so its neighbors are not stalled forever —
+// the deadlock-freedom argument of §II.B requires it.
+func TestBlockedOnlyCoreActsIdle(t *testing.T) {
+	topo := topology.Mesh2D(2, 1, topology.DefaultLatency, topology.DefaultBandwidth)
+	k := New(Config{Topo: topo, Policy: Spatial{T: vtime.CyclesInt(50)}, Seed: 1})
+	k.Handle(kindOneWay, func(k *Kernel, msg network.Message) {
+		k.Unblock(msg.Payload.(*Task), msg.Arrival)
+	})
+	var blocker *Task
+	blocker = k.InjectTask(0, "blocker", func(e *Env) {
+		e.Block() // parked until the worker finishes
+	}, nil, 0)
+	var workerEnd vtime.Time
+	k.InjectTask(1, "worker", func(e *Env) {
+		// Must be able to run far beyond core 0's frozen clock + T.
+		e.ComputeCycles(100_000)
+		workerEnd = e.Now()
+		e.Send(0, kindOneWay, 8, blocker)
+	}, nil, 0)
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if workerEnd < vtime.CyclesInt(100_000) {
+		t.Errorf("worker stalled behind a blocked core: %v", workerEnd)
+	}
+}

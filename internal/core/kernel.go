@@ -1,0 +1,663 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"simany/internal/cache"
+	"simany/internal/network"
+	"simany/internal/timing"
+	"simany/internal/topology"
+	"simany/internal/vtime"
+)
+
+// MemSystem is the memory hierarchy consulted by Env.Read/Env.Write.
+// Implementations live in internal/mem (SiMany's abstract models) and
+// internal/cyclelevel (the detailed reference models).
+type MemSystem interface {
+	// Access performs n accesses of elem bytes at base by core c at
+	// virtual time now and returns the virtual delay to charge the core.
+	Access(c *Core, base uint64, n int64, elem int, write bool, now vtime.Time) vtime.Time
+}
+
+// NullMem charges nothing for memory accesses; useful for pure-compute
+// tests.
+type NullMem struct{}
+
+// Access implements MemSystem.
+func (NullMem) Access(*Core, uint64, int64, int, bool, vtime.Time) vtime.Time { return 0 }
+
+// Handler processes an architectural message arriving at msg.Dst. Handlers
+// run synchronously at send time, operate on virtual timestamps only and
+// must not block.
+type Handler func(k *Kernel, msg network.Message)
+
+// Config assembles a simulated machine.
+type Config struct {
+	// Topo is the interconnection network. Required.
+	Topo *topology.Topology
+	// NetParams tunes the network model.
+	NetParams network.Params
+	// Policy is the synchronization scheme. Defaults to Spatial{T: 100
+	// cycles}, the paper's reference configuration.
+	Policy Policy
+	// CostModel prices instruction classes; defaults to timing.PPC405.
+	CostModel *timing.CostModel
+	// Predict builds the per-core branch predictor; defaults to the
+	// paper's 90% probabilistic predictor.
+	Predict func(coreID int, seed int64) timing.Predictor
+	// Mem is the memory system; defaults to NullMem.
+	Mem MemSystem
+	// Speeds gives per-core computing-power factors (nil = homogeneous
+	// 1.0).
+	Speeds []float64
+	// TaskStartCost is the overhead of starting a task on a core (10
+	// cycles in §V), in addition to the spawn-message transit time.
+	TaskStartCost vtime.Time
+	// CtxSwitchCost is the cost of switching to a joining task resuming
+	// execution (15 cycles in §V).
+	CtxSwitchCost vtime.Time
+	// Seed makes the run reproducible.
+	Seed int64
+	// MaxSteps aborts runaway simulations (0 = no limit).
+	MaxSteps int64
+	// Tracer, when set, receives simulator trace events (see TraceEvent).
+	Tracer Tracer
+}
+
+// DefaultT is the paper's reference maximum local drift (100 cycles).
+var DefaultT = vtime.CyclesInt(100)
+
+// Kernel is the discrete-event simulator.
+type Kernel struct {
+	cores    []*Core
+	topo     *topology.Topology
+	net      *network.Model
+	policy   Policy
+	mem      MemSystem
+	handlers map[network.Kind]Handler
+	rng      *rand.Rand
+
+	taskStartCost vtime.Time
+	ctxSwitchCost vtime.Time
+
+	yieldCh   chan yieldInfo
+	nextTask  uint64
+	liveTasks int64
+	blocked   map[uint64]*Task
+
+	maxTime   vtime.Time
+	steps     int64
+	maxSteps  int64
+	busyCores int
+	taskPanic error
+
+	// Host-parallelism potential sampling (§VIII): how many cores were
+	// runnable — i.e. independently simulatable within their local time
+	// window — at each scheduling decision.
+	runnableSum     int64
+	runnableSamples int64
+	runnableMax     int
+
+	// out-of-order statistics: arrivals handled per destination.
+	lastHandled []vtime.Time
+	oooMsgs     int64
+	handled     int64
+
+	// onTaskStart, when set, runs right after a fresh task is popped from
+	// a core's queue (the task runtime broadcasts queue occupancy here).
+	onTaskStart func(c *Core, t *Task)
+
+	tracer   Tracer
+	traceSeq uint64
+
+	propQueue []int // scratch for shadow-time propagation
+}
+
+// New builds a kernel from a configuration.
+func New(cfg Config) *Kernel {
+	if cfg.Topo == nil {
+		panic("core: Config.Topo is required")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = Spatial{T: DefaultT}
+	}
+	if cfg.CostModel == nil {
+		cfg.CostModel = timing.PPC405()
+	}
+	if cfg.Predict == nil {
+		rate := cfg.CostModel.PredictRate
+		cfg.Predict = func(coreID int, seed int64) timing.Predictor {
+			return timing.NewProbabilisticPredictor(rate, seed+int64(coreID))
+		}
+	}
+	if cfg.Mem == nil {
+		cfg.Mem = NullMem{}
+	}
+	if cfg.NetParams.ChunkSize == 0 {
+		cfg.NetParams = network.DefaultParams()
+	}
+	if cfg.TaskStartCost == 0 {
+		cfg.TaskStartCost = vtime.CyclesInt(10)
+	}
+	if cfg.CtxSwitchCost == 0 {
+		cfg.CtxSwitchCost = vtime.CyclesInt(15)
+	}
+	n := cfg.Topo.N()
+	k := &Kernel{
+		topo:          cfg.Topo,
+		net:           network.New(cfg.Topo, cfg.NetParams),
+		policy:        cfg.Policy,
+		mem:           cfg.Mem,
+		handlers:      make(map[network.Kind]Handler),
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		taskStartCost: cfg.TaskStartCost,
+		ctxSwitchCost: cfg.CtxSwitchCost,
+		yieldCh:       make(chan yieldInfo),
+		blocked:       make(map[uint64]*Task),
+		maxSteps:      cfg.MaxSteps,
+		lastHandled:   make([]vtime.Time, n),
+		tracer:        cfg.Tracer,
+	}
+	k.cores = make([]*Core, n)
+	for i := 0; i < n; i++ {
+		speed := 1.0
+		if cfg.Speeds != nil {
+			if len(cfg.Speeds) != n {
+				panic("core: Speeds length must match core count")
+			}
+			speed = cfg.Speeds[i]
+			if speed <= 0 {
+				panic("core: non-positive core speed")
+			}
+		}
+		c := &Core{
+			ID:         i,
+			Speed:      speed,
+			k:          k,
+			idle:       true,
+			eff:        vtime.Inf,
+			neighbors:  cfg.Topo.Neighbors(i),
+			timer:      timing.NewBlockTimer(cfg.CostModel, cfg.Predict(i, cfg.Seed)),
+			l1:         cache.NewScoped(cache.DefaultLineSize),
+			l2:         cache.NewL2(cache.DefaultLineSize),
+			birthCache: vtime.Inf,
+		}
+		c.nbEff = make([]vtime.Time, len(c.neighbors))
+		for j := range c.nbEff {
+			c.nbEff[j] = vtime.Inf
+		}
+		k.cores[i] = c
+	}
+	return k
+}
+
+// Core returns core i.
+func (k *Kernel) Core(i int) *Core { return k.cores[i] }
+
+// NumCores returns the machine size.
+func (k *Kernel) NumCores() int { return len(k.cores) }
+
+// Topology returns the interconnect topology.
+func (k *Kernel) Topology() *topology.Topology { return k.topo }
+
+// Network returns the interconnect model.
+func (k *Kernel) Network() *network.Model { return k.net }
+
+// Policy returns the active synchronization policy.
+func (k *Kernel) Policy() Policy { return k.policy }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// CtxSwitchCost returns the configured context-switch overhead.
+func (k *Kernel) CtxSwitchCost() vtime.Time { return k.ctxSwitchCost }
+
+// Handle registers the handler for a message kind. Registering twice for
+// the same kind panics: message kinds are owned by exactly one layer.
+func (k *Kernel) Handle(kind network.Kind, h Handler) {
+	if _, dup := k.handlers[kind]; dup {
+		panic(fmt.Sprintf("core: duplicate handler for message kind %d", kind))
+	}
+	k.handlers[kind] = h
+}
+
+// send routes a message and immediately runs the destination handler.
+func (k *Kernel) send(msg network.Message) network.Message {
+	msg = k.net.Send(msg)
+	k.cores[msg.Src].stats.MsgsSent++
+	h, ok := k.handlers[msg.Kind]
+	if !ok {
+		panic(fmt.Sprintf("core: no handler for message kind %d", msg.Kind))
+	}
+	k.handled++
+	if msg.Arrival < k.lastHandled[msg.Dst] {
+		k.oooMsgs++
+	} else {
+		k.lastHandled[msg.Dst] = msg.Arrival
+	}
+	if k.tracer != nil {
+		k.emit(TraceSend, msg.Stamp, msg.Src, nil, int64(msg.Dst))
+		k.emit(TraceHandle, msg.Arrival, msg.Dst, nil, int64(msg.Src))
+	}
+	h(k, msg)
+	return msg
+}
+
+// SendAt emits a message on behalf of core src at an explicit stamp; used
+// by handlers to reply (stamp = arrival + handling cost).
+func (k *Kernel) SendAt(src, dst int, kind network.Kind, size int, payload any, stamp vtime.Time) network.Message {
+	return k.send(network.Message{
+		Src: src, Dst: dst, Kind: kind, Size: size, Payload: payload, Stamp: stamp,
+	})
+}
+
+// NewTask allocates a task executing fn. The task is not yet placed; use
+// PlaceTask (or InjectTask for simulation entry points).
+func (k *Kernel) NewTask(name string, fn func(*Env), meta any) *Task {
+	k.nextTask++
+	return &Task{
+		ID:   k.nextTask,
+		Name: name,
+		Meta: meta,
+		fn:   fn,
+		cont: make(chan struct{}),
+	}
+}
+
+// PlaceTask queues task t on core as a fresh ready task that may start at
+// stamp arrival. birthOwner, if non-nil, is the spawning core whose birth
+// entry (registered with RegisterBirth) is discarded now that the task has
+// arrived at its final destination (§II.A: the run-time system informs the
+// parent's core that it can discard the corresponding birth date). The
+// birth therefore constrains the parent only across the probe/spawn/
+// migration window; removing it any later can produce stall cycles between
+// mutually-spawning cores.
+func (k *Kernel) PlaceTask(t *Task, coreID int, arrival vtime.Time, birthOwner *Core) {
+	c := k.cores[coreID]
+	t.core = c
+	t.arrival = arrival
+	t.state = TaskReady
+	t.env = &Env{k: k, t: t, c: c}
+	c.ready = append(c.ready, t)
+	k.liveTasks++
+	if birthOwner != nil {
+		birthOwner.removeBirth(t.ID)
+		if birthOwner.current != nil && birthOwner.current.env != nil {
+			birthOwner.current.env.horizon = k.policy.Horizon(birthOwner)
+		}
+	}
+}
+
+// SetTaskStartHook registers a callback invoked whenever a fresh task is
+// popped from a core's queue and starts executing. The task runtime uses it
+// to broadcast the core's new queue occupancy to its neighbors (§IV).
+func (k *Kernel) SetTaskStartHook(f func(c *Core, t *Task)) { k.onTaskStart = f }
+
+// RegisterBirth records, on spawning core c, the birth stamp of a task
+// that has been (or is about to be) placed elsewhere, and immediately
+// tightens the horizon of the task currently running on c so the spatial
+// drift bound of §II.A (Fig. 3) takes effect mid-block-sequence. The entry
+// is discarded automatically when the spawned task starts (PlaceTask's
+// birthOwner).
+func (k *Kernel) RegisterBirth(c *Core, spawned *Task, stamp vtime.Time) {
+	c.addBirth(spawned.ID, stamp)
+	if c.current != nil && c.current.env != nil {
+		c.current.env.horizon = k.policy.Horizon(c)
+	}
+}
+
+// InjectTask creates and places a root task (simulation entry point).
+func (k *Kernel) InjectTask(coreID int, name string, fn func(*Env), meta any, at vtime.Time) *Task {
+	t := k.NewTask(name, fn, meta)
+	k.PlaceTask(t, coreID, at, nil)
+	return t
+}
+
+// Unblock marks a blocked task runnable again from virtual time at. It is
+// called by message handlers (e.g. when a reply or join notification
+// arrives).
+func (k *Kernel) Unblock(t *Task, at vtime.Time) {
+	k.emit(TraceUnblock, at, t.core.ID, t, int64(at))
+	switch t.state {
+	case TaskBlocked:
+		delete(k.blocked, t.ID)
+		t.state = TaskReady
+		t.resume = at
+		t.core.conts = append(t.core.conts, t)
+	case TaskRunning:
+		// The wake-up raced ahead of the Block call (handlers run
+		// synchronously); record it so Block returns immediately.
+		if t.pendingWake {
+			panic(fmt.Sprintf("core: double Unblock of running task %q", t.Name))
+		}
+		t.pendingWake = true
+		t.resume = at
+	default:
+		panic(fmt.Sprintf("core: Unblock of task %q in state %d", t.Name, t.state))
+	}
+}
+
+// Result summarizes a completed simulation.
+type Result struct {
+	// FinalVT is the program's virtual execution time: the latest task
+	// completion time.
+	FinalVT vtime.Time
+	// Steps is the number of kernel scheduling steps.
+	Steps int64
+	// Messages, Hops, Bytes are network totals.
+	Messages, Hops, Bytes int64
+	// OutOfOrder is the number of handler invocations whose arrival stamp
+	// preceded an already-handled arrival at the same destination.
+	OutOfOrder int64
+	// Handled is the total number of handled messages.
+	Handled int64
+	// Stalls is the total number of policy stalls across cores.
+	Stalls int64
+	// Instructions is the total annotated instruction count.
+	Instructions int64
+	// AvgRunnable and MaxRunnable sample how many cores were runnable per
+	// scheduling decision: the number of cores a parallel host could
+	// simulate concurrently under the active synchronization scheme
+	// (§VIII "preliminary study").
+	AvgRunnable float64
+	MaxRunnable int
+}
+
+// Run drives the simulation to quiescence: every injected task (and every
+// task transitively created) has finished. It returns an error on deadlock
+// or when a task panicked.
+func (k *Kernel) Run() (Result, error) {
+	for {
+		if k.taskPanic != nil {
+			return Result{}, k.taskPanic
+		}
+		if k.maxSteps > 0 && k.steps >= k.maxSteps {
+			return Result{}, fmt.Errorf("core: exceeded %d scheduling steps", k.maxSteps)
+		}
+		c := k.pickCore()
+		if c == nil {
+			if k.liveTasks == 0 {
+				return k.result(), nil
+			}
+			return Result{}, k.deadlockError()
+		}
+		k.step(c)
+	}
+}
+
+func (k *Kernel) result() Result {
+	msgs, hops, bytes := k.net.Stats()
+	r := Result{
+		FinalVT:    k.maxTime,
+		Steps:      k.steps,
+		Messages:   msgs,
+		Hops:       hops,
+		Bytes:      bytes,
+		OutOfOrder: k.oooMsgs,
+		Handled:    k.handled,
+	}
+	for _, c := range k.cores {
+		r.Stalls += c.stats.Stalls
+		r.Instructions += c.stats.Instructions
+	}
+	if k.runnableSamples > 0 {
+		r.AvgRunnable = float64(k.runnableSum) / float64(k.runnableSamples)
+	}
+	r.MaxRunnable = k.runnableMax
+	return r
+}
+
+// runnable reports whether core c can be scheduled now, and the virtual
+// time key used to prioritize it.
+func (k *Kernel) runnable(c *Core) (vtime.Time, bool) {
+	if c.current != nil {
+		// Stalled mid-task: runnable when the horizon has moved past the
+		// core's clock.
+		if c.vt <= k.policy.Horizon(c) {
+			return c.vt, true
+		}
+		return 0, false
+	}
+	if len(c.conts) == 0 && len(c.ready) == 0 {
+		return 0, false
+	}
+	// Picking a task may move the clock forward (to the task's stamp);
+	// starting is always allowed — the first block boundary enforces the
+	// drift.
+	key := c.vt
+	if c.idle {
+		key = vtime.Inf
+		if len(c.conts) > 0 {
+			key = c.conts[0].resume
+		}
+		for _, t := range c.ready {
+			if t.arrival < key {
+				key = t.arrival
+			}
+		}
+	}
+	return key, true
+}
+
+// pickCore selects the runnable core with the lowest virtual-time key
+// (deterministic; ties broken by core ID). It also samples how many cores
+// were simultaneously runnable — the quantity behind the paper's §VIII
+// observation that spatial synchronization leaves enough independently
+// simulatable cores to keep a multi-core host busy.
+func (k *Kernel) pickCore() *Core {
+	var best *Core
+	bestKey := vtime.Inf
+	runnable := 0
+	for _, c := range k.cores {
+		key, ok := k.runnable(c)
+		if !ok {
+			continue
+		}
+		runnable++
+		if best == nil || key < bestKey {
+			best = c
+			bestKey = key
+		}
+	}
+	if best != nil {
+		k.runnableSamples++
+		k.runnableSum += int64(runnable)
+		if runnable > k.runnableMax {
+			k.runnableMax = runnable
+		}
+	}
+	return best
+}
+
+// step schedules one task segment on core c.
+func (k *Kernel) step(c *Core) {
+	k.steps++
+	t := c.current
+	switch {
+	case t != nil:
+		// Resume the stalled task in place.
+	case len(c.conts) > 0:
+		t = c.conts[0]
+		c.conts = c.conts[1:]
+		// Context switch to a joining task resuming execution (§V).
+		c.vt = vtime.Max(c.vt, t.resume) + k.ctxSwitchCost
+		c.stats.Switches++
+		t.state = TaskRunning
+		c.current = t
+		k.emit(TraceTaskResume, c.vt, c.ID, t, 0)
+	default:
+		t = c.ready[0]
+		c.ready = c.ready[1:]
+		// Starting a task costs 10 cycles in addition to the transit time
+		// of the spawn message (§V).
+		c.vt = vtime.Max(c.vt, t.arrival) + k.taskStartCost
+		c.stats.TaskStarts++
+		t.state = TaskRunning
+		c.current = t
+		k.emit(TraceTaskStart, c.vt, c.ID, t, 0)
+		if k.onTaskStart != nil {
+			k.onTaskStart(c, t)
+		}
+	}
+	if c.idle {
+		c.idle = false
+		k.busyCores++
+	}
+	k.updateEff(c)
+
+	// Hand control to the task goroutine until it yields.
+	t.env.horizon = k.policy.Horizon(c)
+	if !t.started {
+		t.started = true
+		go t.main()
+	} else {
+		t.cont <- struct{}{}
+	}
+	y := <-k.yieldCh
+
+	switch y.kind {
+	case yieldDone:
+		t.state = TaskDone
+		t.endVT = c.vt
+		c.current = nil
+		k.liveTasks--
+		if c.vt > k.maxTime {
+			k.maxTime = c.vt
+		}
+		k.emit(TraceTaskEnd, c.vt, c.ID, t, 0)
+	case yieldBlocked:
+		t.state = TaskBlocked
+		k.blocked[t.ID] = t
+		c.current = nil
+		k.emit(TraceTaskBlock, c.vt, c.ID, t, 0)
+	case yieldStalled:
+		// c.current stays set; the task resumes in place later.
+		k.emit(TraceTaskStall, c.vt, c.ID, t, 0)
+	}
+	if c.current == nil && len(c.conts) == 0 && len(c.ready) == 0 {
+		c.idle = true
+		k.busyCores--
+	}
+	k.updateEff(c)
+}
+
+// updateEff recomputes c's advertised effective time and propagates shadow
+// updates through idle neighbors until a fixpoint, as idle cores relay
+// virtual-time updates in the paper (§II.A "Non-connected sets of active
+// cores").
+func (k *Kernel) updateEff(c *Core) {
+	if k.busyCores == 0 {
+		// No anchor: idle-only shadow chains have no fixpoint (each relay
+		// adds T), so everyone advertises Inf until a core wakes up.
+		for _, cc := range k.cores {
+			if cc.eff != vtime.Inf {
+				cc.eff = vtime.Inf
+				for _, nbID := range cc.neighbors {
+					nb := k.cores[nbID]
+					for j, nid := range nb.neighbors {
+						if nid == cc.ID {
+							nb.nbEff[j] = vtime.Inf
+							break
+						}
+					}
+				}
+			}
+		}
+		return
+	}
+	k.propQueue = k.propQueue[:0]
+	k.propQueue = append(k.propQueue, c.ID)
+	for len(k.propQueue) > 0 {
+		id := k.propQueue[0]
+		k.propQueue = k.propQueue[1:]
+		cc := k.cores[id]
+		var eff vtime.Time
+		if cc.idle {
+			eff = k.policy.IdleTime(cc)
+		} else {
+			eff = cc.vt
+		}
+		if eff == cc.eff {
+			continue
+		}
+		cc.eff = eff
+		for _, nbID := range cc.neighbors {
+			nb := k.cores[nbID]
+			// Update the proxy this neighbor keeps for cc.
+			for j, nid := range nb.neighbors {
+				if nid == cc.ID {
+					if nb.nbEff[j] != eff {
+						nb.nbEff[j] = eff
+						if nb.idle {
+							k.propQueue = append(k.propQueue, nbID)
+						}
+					}
+					break
+				}
+			}
+		}
+	}
+}
+
+// deadlockError reports the blocked tasks preventing progress.
+func (k *Kernel) deadlockError() error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: deadlock with %d live tasks; blocked:", k.liveTasks)
+	n := 0
+	for _, t := range k.blocked {
+		if n < 8 {
+			fmt.Fprintf(&b, " %q@core%d", t.Name, t.core.ID)
+		}
+		n++
+	}
+	if n > 8 {
+		fmt.Fprintf(&b, " (+%d more)", n-8)
+	}
+	if n == 0 {
+		b.WriteString(" none (stall cycle)")
+	}
+	for _, c := range k.cores {
+		if c.idle && len(c.ready) == 0 && len(c.conts) == 0 {
+			continue
+		}
+		cur := "-"
+		if c.current != nil {
+			cur = c.current.Name
+		}
+		fmt.Fprintf(&b, "\n  core%d vt=%v eff=%v horizon=%v cur=%s ready=%d conts=%d locks=%d minBirth=%v",
+			c.ID, c.vt, c.eff, k.policy.Horizon(c), cur, len(c.ready), len(c.conts), c.lockDepth, c.minBirth())
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// BusyMinVT returns the minimum virtual time among busy cores, Inf when all
+// cores are idle. Used by the global synchronization policies in package
+// drift.
+func (k *Kernel) BusyMinVT() vtime.Time {
+	m := vtime.Inf
+	for _, c := range k.cores {
+		if !c.idle && c.vt < m {
+			m = c.vt
+		}
+	}
+	return m
+}
+
+// MaxTime returns the latest task completion time seen so far.
+func (k *Kernel) MaxTime() vtime.Time { return k.maxTime }
+
+// GlobalMinTime returns the minimum NextEventTime over all cores: the
+// earliest point in virtual time where anything can still happen. Global
+// synchronization schemes (package drift) treat it as "the current global
+// time".
+func (k *Kernel) GlobalMinTime() vtime.Time {
+	m := vtime.Inf
+	for _, c := range k.cores {
+		if t := c.NextEventTime(); t < m {
+			m = t
+		}
+	}
+	return m
+}

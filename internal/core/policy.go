@@ -1,0 +1,63 @@
+package core
+
+import "simany/internal/vtime"
+
+// Policy is a virtual-time synchronization scheme. The kernel consults it
+// to decide how far a core may advance before yielding control (Horizon)
+// and what effective time an idle core advertises to its neighbors
+// (IdleTime).
+//
+// The spatial synchronization of the paper is implemented by Spatial;
+// package drift provides the related-work alternatives (global quantum,
+// bounded slack, LaxP2P, unbounded) behind the same interface.
+type Policy interface {
+	// Name identifies the policy in results and traces.
+	Name() string
+	// Horizon returns the largest virtual time core c may reach before it
+	// must yield back to the kernel. Crossing the horizon mid-block is
+	// allowed (annotation blocks are atomic); the core then stalls until
+	// the horizon moves past its clock.
+	Horizon(c *Core) vtime.Time
+	// IdleTime returns the effective virtual time an idle core advertises.
+	// Policies without a shadow-time concept return vtime.Inf so idle
+	// cores never constrain anyone.
+	IdleTime(c *Core) vtime.Time
+}
+
+// Spatial is the paper's spatial synchronization: a core may drift at most
+// T ahead of the slowest of its topological neighbors (and of the birth
+// stamps of tasks it has spawned that have not started yet). Idle cores
+// maintain a shadow time of min(neighbors)+T.
+type Spatial struct {
+	// T is the maximum local drift (100 cycles in the paper's reference
+	// configuration).
+	T vtime.Time
+}
+
+// Name implements Policy.
+func (s Spatial) Name() string { return "spatial" }
+
+// Horizon implements Policy.
+func (s Spatial) Horizon(c *Core) vtime.Time {
+	if c.lockDepth > 0 {
+		// Lock-holder exemption (§II.B): run until the lock is released.
+		return vtime.Inf
+	}
+	m := c.minNeighborEff()
+	if b := c.minBirth(); b < m {
+		m = b
+	}
+	if m == vtime.Inf {
+		return vtime.Inf
+	}
+	return m + s.T
+}
+
+// IdleTime implements Policy.
+func (s Spatial) IdleTime(c *Core) vtime.Time {
+	m := c.minNeighborEff()
+	if m == vtime.Inf {
+		return vtime.Inf
+	}
+	return m + s.T
+}

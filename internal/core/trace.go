@@ -1,0 +1,77 @@
+package core
+
+import "simany/internal/vtime"
+
+// TraceKind classifies simulator trace events.
+type TraceKind uint8
+
+const (
+	// TraceTaskStart: a fresh task begins executing on a core.
+	TraceTaskStart TraceKind = iota
+	// TraceTaskResume: a blocked task's continuation resumes (context
+	// switch).
+	TraceTaskResume
+	// TraceTaskStall: a task yields because its core hit the policy
+	// horizon.
+	TraceTaskStall
+	// TraceTaskBlock: a task parks waiting for a message.
+	TraceTaskBlock
+	// TraceTaskEnd: a task finishes.
+	TraceTaskEnd
+	// TraceSend: an architectural message is emitted.
+	TraceSend
+	// TraceHandle: a message handler runs at its destination.
+	TraceHandle
+	// TraceUnblock: a blocked task is made runnable.
+	TraceUnblock
+)
+
+var traceKindNames = [...]string{
+	"task-start", "task-resume", "task-stall", "task-block", "task-end",
+	"send", "handle", "unblock",
+}
+
+// String names the kind.
+func (k TraceKind) String() string {
+	if int(k) < len(traceKindNames) {
+		return traceKindNames[k]
+	}
+	return "unknown"
+}
+
+// TraceEvent is one record of simulator activity. VT is the core's virtual
+// time at the event; Seq is the wall-clock (simulation) order.
+type TraceEvent struct {
+	Seq    uint64
+	Kind   TraceKind
+	VT     vtime.Time
+	Core   int
+	TaskID uint64
+	Task   string
+	// Aux carries a kind-specific value: destination core for TraceSend,
+	// source core for TraceHandle, wake stamp for TraceUnblock.
+	Aux int64
+}
+
+// Tracer receives simulator trace events. Implementations must be cheap:
+// the kernel calls them on the hot path when tracing is enabled.
+type Tracer interface {
+	Trace(TraceEvent)
+}
+
+// emit records a trace event if tracing is enabled.
+func (k *Kernel) emit(kind TraceKind, vt vtime.Time, core int, t *Task, aux int64) {
+	if k.tracer == nil {
+		return
+	}
+	k.traceSeq++
+	ev := TraceEvent{Seq: k.traceSeq, Kind: kind, VT: vt, Core: core, Aux: aux}
+	if t != nil {
+		ev.TaskID = t.ID
+		ev.Task = t.Name
+	}
+	k.tracer.Trace(ev)
+}
+
+// SetTracer installs (or removes, with nil) the event tracer.
+func (k *Kernel) SetTracer(t Tracer) { k.tracer = t }

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"simany/internal/vtime"
+)
+
+// Validate checks the kernel's internal invariants and returns the first
+// violation found, or nil. It is intended for tests and for debugging
+// custom policies or memory systems: install it behind a Tracer (see
+// ValidatingTracer) to check consistency continuously during a run.
+//
+// Checked invariants:
+//   - every neighbor-proxy entry mirrors the neighbor's advertised time;
+//   - a busy core never advertises a time ahead of its own clock;
+//   - the cached minimum birth stamp matches the birth map;
+//   - lock depths are non-negative;
+//   - task states are consistent with the queue each task sits in;
+//   - the busy-core counter matches the per-core idle flags.
+func (k *Kernel) Validate() error {
+	busy := 0
+	for _, c := range k.cores {
+		if !c.idle {
+			busy++
+			// Virtual-time updates propagate at yield points, so a busy
+			// core's advertised time may lag its clock mid-step — but it
+			// must never lead it.
+			if c.eff > c.vt {
+				return fmt.Errorf("core %d: busy but advertises future time %v (clock %v)", c.ID, c.eff, c.vt)
+			}
+		}
+		for j, nbID := range c.neighbors {
+			nb := k.cores[nbID]
+			if c.nbEff[j] != nb.eff {
+				return fmt.Errorf("core %d: proxy for neighbor %d is %v, neighbor advertises %v",
+					c.ID, nbID, c.nbEff[j], nb.eff)
+			}
+		}
+		if c.lockDepth < 0 {
+			return fmt.Errorf("core %d: negative lock depth %d", c.ID, c.lockDepth)
+		}
+		min := vtime.Inf
+		for _, b := range c.births {
+			if b < min {
+				min = b
+			}
+		}
+		if got := c.minBirth(); got != min {
+			return fmt.Errorf("core %d: birth cache %v, map minimum %v", c.ID, got, min)
+		}
+		if c.current != nil && c.current.state != TaskRunning {
+			return fmt.Errorf("core %d: current task %q in state %d", c.ID, c.current.Name, c.current.state)
+		}
+		for _, t := range c.conts {
+			if t.state != TaskReady {
+				return fmt.Errorf("core %d: continuation %q in state %d", c.ID, t.Name, t.state)
+			}
+		}
+		for _, t := range c.ready {
+			if t.state != TaskReady {
+				return fmt.Errorf("core %d: queued task %q in state %d", c.ID, t.Name, t.state)
+			}
+		}
+	}
+	if busy != k.busyCores {
+		return fmt.Errorf("busy-core counter %d, actual %d", k.busyCores, busy)
+	}
+	for id, t := range k.blocked {
+		if t.state != TaskBlocked {
+			return fmt.Errorf("blocked registry holds task %d in state %d", id, t.state)
+		}
+	}
+	return nil
+}
+
+// ValidatingTracer runs Kernel.Validate every Interval trace events and
+// panics on the first violation, pinpointing the event that exposed it.
+// Wrap another tracer to keep recording.
+type ValidatingTracer struct {
+	K        *Kernel
+	Interval uint64
+	Next     Tracer
+
+	count uint64
+}
+
+// Trace implements Tracer.
+func (v *ValidatingTracer) Trace(ev TraceEvent) {
+	if v.Next != nil {
+		v.Next.Trace(ev)
+	}
+	v.count++
+	interval := v.Interval
+	if interval == 0 {
+		interval = 1
+	}
+	if v.count%interval == 0 {
+		if err := v.K.Validate(); err != nil {
+			panic(fmt.Sprintf("core: invariant violation at trace event %d (%s): %v",
+				ev.Seq, ev.Kind, err))
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package drift implements the related-work virtual-time synchronization
+// schemes that SiMany's spatial synchronization is compared against (§VII):
+//
+//   - GlobalQuantum: WWT-style quantum-based global barriers.
+//   - BoundedSlack: SlackSim's bounded slack — every core may run ahead of
+//     the current global time by at most a fixed window.
+//   - LaxP2P: Graphite's distributed scheme — a core periodically checks
+//     its progress against a randomly chosen core and sleeps if it is more
+//     than the slack ahead.
+//   - Unbounded: SlackSim's unbound slack — no synchronization at all.
+//   - Lockstep: a conservative strict-global-order scheduler; events are
+//     processed exactly in virtual-time order. The cycle-level reference
+//     simulator runs on top of it.
+//
+// All of them implement core.Policy, so any simulation can be re-run under
+// a different scheme by switching one configuration field — this powers the
+// ablation benchmarks.
+package drift
+
+import (
+	"simany/internal/core"
+	"simany/internal/vtime"
+)
+
+// GlobalQuantum is a quantum-based global synchronization: virtual time is
+// divided into windows of Q; no core may enter window w+1 before every busy
+// core has finished window w.
+type GlobalQuantum struct {
+	Q vtime.Time
+}
+
+// Name implements core.Policy.
+func (GlobalQuantum) Name() string { return "quantum" }
+
+// Horizon implements core.Policy.
+func (p GlobalQuantum) Horizon(c *core.Core) vtime.Time {
+	if c.LockDepth() > 0 {
+		return vtime.Inf
+	}
+	m := c.Kernel().GlobalMinTime()
+	if m == vtime.Inf {
+		return vtime.Inf
+	}
+	// End of the window containing the globally slowest core.
+	return (m/p.Q + 1) * p.Q
+}
+
+// IdleTime implements core.Policy; global schemes do not need idle shadow
+// times because they never consult neighbors.
+func (GlobalQuantum) IdleTime(*core.Core) vtime.Time { return vtime.Inf }
+
+// BoundedSlack lets every core run ahead of the current global minimum
+// virtual time by at most W (SlackSim's bounded slack scheme).
+type BoundedSlack struct {
+	W vtime.Time
+}
+
+// Name implements core.Policy.
+func (BoundedSlack) Name() string { return "bounded-slack" }
+
+// Horizon implements core.Policy.
+func (p BoundedSlack) Horizon(c *core.Core) vtime.Time {
+	if c.LockDepth() > 0 {
+		return vtime.Inf
+	}
+	m := c.Kernel().GlobalMinTime()
+	if m == vtime.Inf {
+		return vtime.Inf
+	}
+	return m + p.W
+}
+
+// IdleTime implements core.Policy.
+func (BoundedSlack) IdleTime(*core.Core) vtime.Time { return vtime.Inf }
+
+// Lockstep is the conservative strict-order scheduler used by the
+// cycle-level reference simulator: a core may only advance while it is the
+// globally earliest busy core, so all interactions are processed in exact
+// virtual-time order.
+type Lockstep struct{}
+
+// Name implements core.Policy.
+func (Lockstep) Name() string { return "lockstep" }
+
+// Horizon implements core.Policy.
+func (Lockstep) Horizon(c *core.Core) vtime.Time {
+	if c.LockDepth() > 0 {
+		return vtime.Inf
+	}
+	k := c.Kernel()
+	// Run until the earliest other core's next event; the kernel always
+	// schedules the earliest runnable core, so ordering is exact at block
+	// granularity.
+	m := vtime.Inf
+	for i := 0; i < k.NumCores(); i++ {
+		o := k.Core(i)
+		if o.ID != c.ID {
+			if t := o.NextEventTime(); t < m {
+				m = t
+			}
+		}
+	}
+	return m
+}
+
+// IdleTime implements core.Policy.
+func (Lockstep) IdleTime(*core.Core) vtime.Time { return vtime.Inf }
+
+// Unbounded never synchronizes: every core runs to completion
+// independently (SlackSim's unbound slack).
+type Unbounded struct{}
+
+// Name implements core.Policy.
+func (Unbounded) Name() string { return "unbounded" }
+
+// Horizon implements core.Policy.
+func (Unbounded) Horizon(*core.Core) vtime.Time { return vtime.Inf }
+
+// IdleTime implements core.Policy.
+func (Unbounded) IdleTime(*core.Core) vtime.Time { return vtime.Inf }
+
+// LaxP2P approximates Graphite's LaxP2P: each time a core is about to run,
+// it checks its progress against a randomly chosen other core; if it is
+// more than Slack ahead of that referee it goes to sleep until the referee
+// catches up (here: its horizon becomes referee+Slack).
+type LaxP2P struct {
+	Slack vtime.Time
+}
+
+// Name implements core.Policy.
+func (LaxP2P) Name() string { return "laxp2p" }
+
+// Horizon implements core.Policy.
+func (p LaxP2P) Horizon(c *core.Core) vtime.Time {
+	if c.LockDepth() > 0 {
+		return vtime.Inf
+	}
+	k := c.Kernel()
+	n := k.NumCores()
+	if n == 1 {
+		return vtime.Inf
+	}
+	// Pick a random referee other than c (deterministic via kernel rng).
+	ref := k.Rand().Intn(n - 1)
+	if ref >= c.ID {
+		ref++
+	}
+	o := k.Core(ref)
+	t := o.NextEventTime()
+	if t == vtime.Inf {
+		return vtime.Inf
+	}
+	return t + p.Slack
+}
+
+// IdleTime implements core.Policy.
+func (LaxP2P) IdleTime(*core.Core) vtime.Time { return vtime.Inf }

@@ -1,0 +1,180 @@
+package drift
+
+import (
+	"testing"
+
+	"simany/internal/core"
+	"simany/internal/topology"
+	"simany/internal/vtime"
+)
+
+// runPair runs two 40-block workers on a 2-core machine under the given
+// policy and returns the result plus an execution-order drift measurement.
+func runPair(t *testing.T, pol core.Policy, blockCycles float64) (core.Result, vtime.Time) {
+	t.Helper()
+	topo := topology.Mesh2D(2, 1, topology.DefaultLatency, topology.DefaultBandwidth)
+	k := core.New(core.Config{Topo: topo, Policy: pol, Seed: 3})
+	type rec struct {
+		c  int
+		vt vtime.Time
+	}
+	var log []rec
+	for c := 0; c < 2; c++ {
+		c := c
+		k.InjectTask(c, "w", func(e *core.Env) {
+			for i := 0; i < 40; i++ {
+				e.ComputeCycles(blockCycles)
+				log = append(log, rec{c, e.Now()})
+			}
+		}, nil, 0)
+	}
+	res, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := map[int]vtime.Time{}
+	var maxDrift vtime.Time
+	for _, r := range log {
+		last[r.c] = r.vt
+		if len(last) == 2 {
+			d := last[0] - last[1]
+			if d < 0 {
+				d = -d
+			}
+			if d > maxDrift {
+				maxDrift = d
+			}
+		}
+	}
+	return res, maxDrift
+}
+
+func TestNames(t *testing.T) {
+	cases := map[string]core.Policy{
+		"quantum":       GlobalQuantum{Q: vtime.CyclesInt(100)},
+		"bounded-slack": BoundedSlack{W: vtime.CyclesInt(100)},
+		"lockstep":      Lockstep{},
+		"unbounded":     Unbounded{},
+		"laxp2p":        LaxP2P{Slack: vtime.CyclesInt(100)},
+	}
+	for want, p := range cases {
+		if p.Name() != want {
+			t.Errorf("Name() = %q, want %q", p.Name(), want)
+		}
+	}
+}
+
+func TestQuantumBoundsDrift(t *testing.T) {
+	_, drift := runPair(t, GlobalQuantum{Q: vtime.CyclesInt(50)}, 10)
+	// Within a quantum window plus one block of overshoot.
+	if drift > vtime.CyclesInt(70) {
+		t.Errorf("quantum drift = %v", drift)
+	}
+}
+
+func TestBoundedSlackBoundsDrift(t *testing.T) {
+	_, drift := runPair(t, BoundedSlack{W: vtime.CyclesInt(30)}, 10)
+	if drift > vtime.CyclesInt(50) {
+		t.Errorf("bounded-slack drift = %v", drift)
+	}
+}
+
+func TestLockstepExactOrder(t *testing.T) {
+	res, drift := runPair(t, Lockstep{}, 10)
+	// Lockstep: drift bounded by one block.
+	if drift > vtime.CyclesInt(10) {
+		t.Errorf("lockstep drift = %v", drift)
+	}
+	// And no out-of-order handling can occur (no messages here, but the
+	// step count shows per-block interleaving).
+	if res.Steps < 40 {
+		t.Errorf("lockstep steps = %d, expected per-block interleaving", res.Steps)
+	}
+}
+
+func TestUnboundedSerializes(t *testing.T) {
+	res, _ := runPair(t, Unbounded{}, 10)
+	// Without synchronization each task runs to completion in one step.
+	if res.Steps != 2 {
+		t.Errorf("unbounded steps = %d, want 2", res.Steps)
+	}
+	if res.Stalls != 0 {
+		t.Errorf("unbounded stalls = %d", res.Stalls)
+	}
+}
+
+func TestLaxP2PBoundsDriftLoosely(t *testing.T) {
+	_, drift := runPair(t, LaxP2P{Slack: vtime.CyclesInt(40)}, 10)
+	// With 2 cores the referee is always the other core, so the bound is
+	// slack + one block.
+	if drift > vtime.CyclesInt(60) {
+		t.Errorf("laxp2p drift = %v", drift)
+	}
+}
+
+func TestPolicyOrderingSpeedAccuracy(t *testing.T) {
+	// Tighter schemes must schedule at least as many steps (more
+	// synchronization) as looser ones: lockstep ≥ quantum ≥ unbounded.
+	lock, _ := runPair(t, Lockstep{}, 10)
+	quant, _ := runPair(t, GlobalQuantum{Q: vtime.CyclesInt(100)}, 10)
+	unb, _ := runPair(t, Unbounded{}, 10)
+	if !(lock.Steps >= quant.Steps && quant.Steps >= unb.Steps) {
+		t.Errorf("steps ordering violated: lockstep=%d quantum=%d unbounded=%d",
+			lock.Steps, quant.Steps, unb.Steps)
+	}
+}
+
+func TestSingleCoreUnconstrained(t *testing.T) {
+	for _, pol := range []core.Policy{
+		GlobalQuantum{Q: vtime.CyclesInt(50)},
+		BoundedSlack{W: vtime.CyclesInt(50)},
+		Lockstep{},
+		LaxP2P{Slack: vtime.CyclesInt(50)},
+		Unbounded{},
+	} {
+		k := core.New(core.Config{Topo: topology.Mesh(1), Policy: pol, Seed: 1})
+		k.InjectTask(0, "solo", func(e *core.Env) {
+			for i := 0; i < 100; i++ {
+				e.ComputeCycles(10)
+			}
+		}, nil, 0)
+		res, err := k.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if res.FinalVT != vtime.CyclesInt(1010) {
+			t.Errorf("%s: FinalVT = %v", pol.Name(), res.FinalVT)
+		}
+	}
+}
+
+func TestLockExemptionRespectedByGlobalSchemes(t *testing.T) {
+	for _, pol := range []core.Policy{
+		GlobalQuantum{Q: vtime.CyclesInt(20)},
+		BoundedSlack{W: vtime.CyclesInt(20)},
+		Lockstep{},
+		LaxP2P{Slack: vtime.CyclesInt(20)},
+	} {
+		topo := topology.Mesh2D(2, 1, topology.DefaultLatency, topology.DefaultBandwidth)
+		k := core.New(core.Config{Topo: topo, Policy: pol, Seed: 1})
+		var span vtime.Time
+		k.InjectTask(0, "locker", func(e *core.Env) {
+			e.AcquireLockExempt()
+			s := e.Now()
+			e.ComputeCycles(1000)
+			span = e.Now() - s
+			e.ReleaseLockExempt()
+		}, nil, 0)
+		k.InjectTask(1, "other", func(e *core.Env) {
+			for i := 0; i < 50; i++ {
+				e.ComputeCycles(1)
+			}
+		}, nil, 0)
+		if _, err := k.Run(); err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if span != vtime.CyclesInt(1000) {
+			t.Errorf("%s: locked span = %v", pol.Name(), span)
+		}
+	}
+}

@@ -1,0 +1,430 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"simany/internal/config"
+	"simany/internal/core"
+	"simany/internal/stats"
+	"simany/internal/vtime"
+)
+
+// Figure identifiers accepted by Figure().
+const (
+	Fig5        = "5"
+	Fig6        = "6"
+	Fig7        = "7"
+	Fig8        = "8"
+	Fig9        = "9"
+	Fig10       = "10"
+	Fig11       = "11"
+	Fig12       = "12"
+	Fig13       = "13"
+	FigErrors   = "errors"
+	FigAblation = "ablation"
+	// FigParallel reproduces the §VIII "preliminary study": how many cores
+	// are independently simulatable at once under spatial synchronization.
+	FigParallel = "parallel"
+	// FigHetero evaluates the §VIII future-work extension: a
+	// heterogeneity-aware dispatch policy on polymorphic machines.
+	FigHetero = "hetero"
+)
+
+// AllFigures lists every regenerable experiment in paper order.
+func AllFigures() []string {
+	return []string{Fig5, Fig6, Fig7, Fig8, Fig9, Fig10, Fig11, Fig12, Fig13,
+		FigErrors, FigAblation, FigParallel, FigHetero}
+}
+
+// Figure regenerates one figure/table by id.
+func (h *Harness) Figure(id string) ([]*stats.Table, error) {
+	switch id {
+	case Fig5:
+		return h.validation(config.Uniform, "Fig. 5: Regular 2D Mesh Speedups Cycle-Level Comparison")
+	case Fig6:
+		return h.validation(config.Polymorphic, "Fig. 6: Polymorphic 2D Mesh Speedups Cycle-Level Comparison")
+	case Fig7:
+		return h.simulationTime()
+	case Fig8:
+		return h.speedups(config.Machine{Mem: config.SharedMem},
+			"Fig. 8: Regular 2D Mesh Speedups (Shared-Memory)")
+	case Fig9:
+		return h.speedups(config.Machine{Mem: config.DistributedMem},
+			"Fig. 9: Regular 2D Mesh Speedups (Distributed-Memory)")
+	case Fig10, Fig11:
+		return h.driftStudy()
+	case Fig12:
+		m := config.Machine{Mem: config.DistributedMem, Style: config.Clustered4}
+		return h.speedups(m, "Fig. 12: Clustered 2D Mesh Speedups with 4 Clusters (Distributed-Memory)")
+	case Fig13:
+		m := config.Machine{Mem: config.DistributedMem, Style: config.Polymorphic}
+		return h.speedups(m, "Fig. 13: Polymorphic 2D Mesh Speedups (Distributed-Memory)")
+	case FigErrors:
+		return h.errors()
+	case FigAblation:
+		return h.ablation()
+	case FigParallel:
+		return h.hostParallelism()
+	case FigHetero:
+		return h.heteroScheduling()
+	default:
+		return nil, fmt.Errorf("harness: unknown figure %q", id)
+	}
+}
+
+// WriteAll regenerates every figure into w.
+func (h *Harness) WriteAll(w io.Writer) error {
+	for _, id := range AllFigures() {
+		if id == Fig11 {
+			continue // emitted together with Fig10
+		}
+		tables, err := h.Figure(id)
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			if err := t.Fprint(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+// speedupSeries runs one benchmark over the core grid on variants of the
+// base machine and returns speedups relative to the single-core run.
+func (h *Harness) speedupSeries(name string, base config.Machine, cores []int) (map[int]Outcome, error) {
+	outs := make(map[int]Outcome, len(cores))
+	for _, n := range cores {
+		m := base
+		m.Cores = n
+		if n == 1 {
+			// Single-core machines have no clusters or speed mix.
+			m.Style = config.Uniform
+		}
+		o, err := h.Run(name, m)
+		if err != nil {
+			return nil, err
+		}
+		outs[n] = o
+	}
+	return outs, nil
+}
+
+// speedups builds a speedup table over the exploration core grid for all
+// benchmarks (Figs. 8, 9, 12, 13) and records the corresponding log-log
+// plot (retrievable through LastPlots, as in the paper's figures).
+func (h *Harness) speedups(base config.Machine, title string) ([]*stats.Table, error) {
+	cores := h.ExplorationCores()
+	t := &stats.Table{Title: title, Headers: []string{"benchmark"}}
+	for _, n := range cores {
+		t.Headers = append(t.Headers, fmt.Sprintf("%d", n))
+	}
+	plot := &stats.Plot{Title: title, XLabel: "# of cores", YLabel: "speedup", LogX: true, LogY: true}
+	for _, name := range h.benchNames() {
+		h.logf("%s: %s", title, name)
+		outs, err := h.speedupSeries(name, base, cores)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{name}
+		ser := stats.Series{Name: name}
+		base1 := outs[cores[0]].VT
+		for _, n := range cores {
+			sp := stats.Speedup(base1, outs[n].VT)
+			row = append(row, stats.FmtRatio(sp))
+			ser.Add(float64(n), sp)
+		}
+		t.AddRow(row...)
+		plot.Series = append(plot.Series, ser)
+	}
+	h.lastPlots = []*stats.Plot{plot}
+	return []*stats.Table{t}, nil
+}
+
+// LastPlots returns the ASCII plots produced by the most recent Figure
+// call (empty for table-only experiments).
+func (h *Harness) LastPlots() []*stats.Plot { return h.lastPlots }
+
+// validation compares SiMany (VT) against the cycle-level reference (CL)
+// on shared-memory machines with coherence timing (Figs. 5 and 6).
+func (h *Harness) validation(style config.Style, title string) ([]*stats.Table, error) {
+	cores := h.ValidationCores()
+	t := &stats.Table{Title: title, Headers: []string{"benchmark", "sim"}}
+	for _, n := range cores {
+		t.Headers = append(t.Headers, fmt.Sprintf("%d", n))
+	}
+	errT := &stats.Table{
+		Title:   title + " — per-point relative error",
+		Headers: append([]string{"benchmark"}, t.Headers[2:]...),
+	}
+	for _, name := range h.validationBenchNames() {
+		h.logf("%s: %s", title, name)
+		vtBase := config.Machine{Mem: config.SharedMemCoherent, Style: style}
+		clBase := config.Machine{Mem: config.SharedMemCoherent, Style: style, Policy: "cyclelevel"}
+		vtOuts, err := h.speedupSeries(name, vtBase, cores)
+		if err != nil {
+			return nil, err
+		}
+		clOuts, err := h.speedupSeries(name, clBase, cores)
+		if err != nil {
+			return nil, err
+		}
+		clRow := []string{name, "CL"}
+		vtRow := []string{name, "VT"}
+		errRow := []string{name}
+		for _, n := range cores {
+			cl := stats.Speedup(clOuts[cores[0]].VT, clOuts[n].VT)
+			vt := stats.Speedup(vtOuts[cores[0]].VT, vtOuts[n].VT)
+			clRow = append(clRow, stats.FmtRatio(cl))
+			vtRow = append(vtRow, stats.FmtRatio(vt))
+			if n > 1 {
+				errRow = append(errRow, stats.FmtPct(stats.RelErr(vt, cl)))
+			}
+		}
+		t.AddRow(clRow...)
+		t.AddRow(vtRow...)
+		errT.AddRow(errRow...)
+	}
+	return []*stats.Table{t, errT}, nil
+}
+
+// errors reproduces the §VI error aggregates: geometric-mean relative
+// error of SiMany speedups vs the cycle-level reference per core count,
+// for uniform and polymorphic meshes.
+func (h *Harness) errors() ([]*stats.Table, error) {
+	cores := h.ValidationCores()
+	t := &stats.Table{Title: "§VI: Geometric-mean speedup error vs cycle-level reference",
+		Headers: []string{"mesh"}}
+	for _, n := range cores[1:] {
+		t.Headers = append(t.Headers, fmt.Sprintf("%d", n))
+	}
+	for _, style := range []config.Style{config.Uniform, config.Polymorphic} {
+		errs := make(map[int][]float64)
+		for _, name := range h.validationBenchNames() {
+			h.logf("errors(%s): %s", style, name)
+			vtOuts, err := h.speedupSeries(name, config.Machine{Mem: config.SharedMemCoherent, Style: style}, cores)
+			if err != nil {
+				return nil, err
+			}
+			clOuts, err := h.speedupSeries(name, config.Machine{Mem: config.SharedMemCoherent, Style: style, Policy: "cyclelevel"}, cores)
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range cores[1:] {
+				cl := stats.Speedup(clOuts[cores[0]].VT, clOuts[n].VT)
+				vt := stats.Speedup(vtOuts[cores[0]].VT, vtOuts[n].VT)
+				// Geometric means need strictly positive values; floor the
+				// per-point error at 0.1% as the paper reports percents.
+				e := stats.RelErr(vt, cl)
+				if e < 0.001 {
+					e = 0.001
+				}
+				errs[n] = append(errs[n], e)
+			}
+		}
+		row := []string{style.String()}
+		for _, n := range cores[1:] {
+			row = append(row, stats.FmtPct(stats.GeoMean(errs[n])))
+		}
+		t.AddRow(row...)
+	}
+	return []*stats.Table{t}, nil
+}
+
+// simulationTime reproduces Fig. 7: wall-clock simulation time normalized
+// to the native sequential execution, averaged over the shared- and
+// distributed-memory configurations, with the power-law fit the paper
+// mentions ("increases as a square law with a small coefficient").
+func (h *Harness) simulationTime() ([]*stats.Table, error) {
+	cores := h.ExplorationCores()
+	t := &stats.Table{Title: "Fig. 7: Average Normalized Simulation Time (sim wall / native wall)",
+		Headers: []string{"benchmark"}}
+	for _, n := range cores {
+		t.Headers = append(t.Headers, fmt.Sprintf("%d", n))
+	}
+	t.Headers = append(t.Headers, "power-law k")
+	for _, name := range h.benchNames() {
+		h.logf("Fig. 7: %s", name)
+		native, err := h.NativeWall(name)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{name}
+		var xs, ys []float64
+		for _, n := range cores {
+			var total float64
+			var cnt int
+			for _, mem := range []config.MemKind{config.SharedMem, config.DistributedMem} {
+				o, err := h.Run(name, config.Machine{Cores: n, Mem: mem})
+				if err != nil {
+					return nil, err
+				}
+				total += float64(o.Wall) / float64(native)
+				cnt++
+			}
+			norm := total / float64(cnt)
+			row = append(row, stats.FmtRatio(norm))
+			xs = append(xs, float64(n))
+			ys = append(ys, norm)
+		}
+		_, k := stats.FitPowerLaw(xs, ys)
+		row = append(row, fmt.Sprintf("%.2f", k))
+		t.AddRow(row...)
+	}
+	return []*stats.Table{t}, nil
+}
+
+// driftStudy reproduces the T accuracy/speed trade-off tables (Figs. 10
+// and 11): virtual-time speedup variation and wall-clock simulation-time
+// variation for T ∈ {50, 500, 1000} against the T=100 baseline, averaged
+// over the high-core-count machines.
+func (h *Harness) driftStudy() ([]*stats.Table, error) {
+	cores := h.HighCores()
+	ts := []vtime.Time{
+		vtime.CyclesInt(50),
+		vtime.CyclesInt(500),
+		vtime.CyclesInt(1000),
+	}
+	speedT := &stats.Table{
+		Title:   "Fig. 10: Average Virtual Time Speedup Variations with T (baseline T=100)",
+		Headers: []string{"T", "benchmark", "variation"},
+	}
+	wallT := &stats.Table{
+		Title:   "Fig. 11: Average Simulation Time Variations with T (baseline T=100)",
+		Headers: []string{"T", "benchmark", "variation"},
+	}
+	for _, name := range h.benchNames() {
+		h.logf("Figs. 10-11: %s", name)
+		base := make(map[int]Outcome)
+		for _, n := range cores {
+			o, err := h.Run(name, config.Machine{Cores: n, Mem: config.SharedMem, T: core.DefaultT})
+			if err != nil {
+				return nil, err
+			}
+			base[n] = o
+		}
+		for _, T := range ts {
+			var dSpeed, dWall []float64
+			for _, n := range cores {
+				o, err := h.Run(name, config.Machine{Cores: n, Mem: config.SharedMem, T: T})
+				if err != nil {
+					return nil, err
+				}
+				// Speedup variation == inverse virtual-time variation.
+				dSpeed = append(dSpeed, float64(base[n].VT)/float64(o.VT)-1)
+				dWall = append(dWall, float64(o.Wall)/float64(base[n].Wall)-1)
+			}
+			label := fmt.Sprintf("%d", T.WholeCycles())
+			speedT.AddRow(label, name, stats.FmtPct(stats.Mean(dSpeed)))
+			wallT.AddRow(label, name, stats.FmtPct(stats.Mean(dWall)))
+		}
+	}
+	return []*stats.Table{speedT, wallT}, nil
+}
+
+// ablation compares the synchronization schemes of §VII on the same
+// workloads: virtual-time deviation from the strictly-ordered reference
+// (accuracy) and kernel scheduling steps (synchronization cost).
+func (h *Harness) ablation() ([]*stats.Table, error) {
+	n := 64
+	if h.opt.Quick {
+		n = 16
+	}
+	// The reference is a near-zero bounded slack, which orders events
+	// strictly while keeping the machine model identical across rows (the
+	// cycle-level preset would also change the memory system).
+	policies := []struct{ label, policy string }{
+		{"strict-order", "slack:0.001"},
+		{"spatial T=100", "spatial"},
+		{"quantum Q=100", "quantum:100"},
+		{"slack W=100", "slack:100"},
+		{"laxp2p S=100", "laxp2p:100"},
+		{"unbounded", "unbounded"},
+	}
+	t := &stats.Table{
+		Title:   fmt.Sprintf("§VII ablation: synchronization schemes on %d cores (shared memory)", n),
+		Headers: []string{"benchmark", "policy", "vt-vs-strict", "steps", "stalls", "out-of-order"},
+	}
+	for _, name := range []string{"quicksort", "dijkstra"} {
+		var ref Outcome
+		for i, pol := range policies {
+			h.logf("ablation: %s under %s", name, pol.label)
+			m := config.Machine{Cores: n, Mem: config.SharedMem, Policy: pol.policy}
+			o, err := h.Run(name, m)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				ref = o
+			}
+			dev := stats.RelErr(float64(o.VT), float64(ref.VT))
+			t.AddRow(name, pol.label, stats.FmtPct(dev),
+				fmt.Sprintf("%d", o.Result.Steps),
+				fmt.Sprintf("%d", o.Result.Stalls),
+				fmt.Sprintf("%d", o.Result.OutOfOrder))
+		}
+	}
+	return []*stats.Table{t}, nil
+}
+
+// hostParallelism reproduces the paper's §VIII preliminary study: under
+// spatial synchronization, how many cores are runnable — independently
+// simulatable within their local time windows — at each scheduling
+// decision. The paper concludes that from 64-core networks on there are
+// enough to keep the cores of a multi-core host machine busy.
+func (h *Harness) hostParallelism() ([]*stats.Table, error) {
+	cores := h.HighCores()
+	t := &stats.Table{
+		Title:   "§VIII study: concurrently simulatable cores under spatial synchronization",
+		Headers: []string{"benchmark", "cores", "avg runnable", "max runnable", "avg fraction"},
+	}
+	for _, name := range h.benchNames() {
+		for _, n := range cores {
+			h.logf("parallel: %s on %d cores", name, n)
+			o, err := h.Run(name, config.Machine{Cores: n, Mem: config.SharedMem})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(name, fmt.Sprintf("%d", n),
+				fmt.Sprintf("%.1f", o.Result.AvgRunnable),
+				fmt.Sprintf("%d", o.Result.MaxRunnable),
+				fmt.Sprintf("%.1f%%", 100*o.Result.AvgRunnable/float64(n)))
+		}
+	}
+	return []*stats.Table{t}, nil
+}
+
+// heteroScheduling evaluates the §VIII future-work extension on the
+// paper's own problem case (Fig. 13: polymorphic machines lose ~19% on
+// distributed memory because slow cores spawn tasks at a lower rate):
+// speed-aware dispatch ranks neighbors by expected queue drain time.
+func (h *Harness) heteroScheduling() ([]*stats.Table, error) {
+	cores := h.HighCores()
+	t := &stats.Table{
+		Title:   "§VIII extension: heterogeneity-aware dispatch on polymorphic meshes (distributed memory)",
+		Headers: []string{"benchmark", "cores", "default vt", "speed-aware vt", "improvement"},
+	}
+	for _, name := range h.benchNames() {
+		for _, n := range cores {
+			h.logf("hetero: %s on %d cores", name, n)
+			base := config.Machine{Cores: n, Mem: config.DistributedMem, Style: config.Polymorphic}
+			def, err := h.Run(name, base)
+			if err != nil {
+				return nil, err
+			}
+			base.SpeedAwareRT = true
+			aware, err := h.Run(name, base)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(name, fmt.Sprintf("%d", n),
+				fmt.Sprintf("%.0f", def.VT.InCycles()),
+				fmt.Sprintf("%.0f", aware.VT.InCycles()),
+				stats.FmtPct(float64(def.VT)/float64(aware.VT)-1))
+		}
+	}
+	return []*stats.Table{t}, nil
+}

@@ -1,0 +1,231 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"simany/internal/config"
+)
+
+func quickHarness(benchmarks ...string) *Harness {
+	return New(Options{Seed: 42, Scale: 0.1, Quick: true, Benchmarks: benchmarks})
+}
+
+func TestRunVerifiesChecksum(t *testing.T) {
+	h := quickHarness()
+	o, err := h.Run("quicksort", config.Default(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.OK || o.VT <= 0 || o.Wall <= 0 {
+		t.Errorf("outcome = %+v", o)
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	h := quickHarness()
+	if _, err := h.Run("nope", config.Default(4)); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestCoreGrids(t *testing.T) {
+	q := New(Options{Quick: true})
+	f := New(Options{})
+	if got := q.ExplorationCores(); got[len(got)-1] != 64 {
+		t.Errorf("quick exploration = %v", got)
+	}
+	if got := f.ExplorationCores(); got[len(got)-1] != 1024 || got[0] != 1 {
+		t.Errorf("full exploration = %v", got)
+	}
+	if got := f.ValidationCores(); got[len(got)-1] != 64 {
+		t.Errorf("full validation = %v", got)
+	}
+	if got := f.HighCores(); len(got) != 3 || got[0] != 64 {
+		t.Errorf("high cores = %v", got)
+	}
+}
+
+func TestNativeWall(t *testing.T) {
+	h := quickHarness()
+	d, err := h.NativeWall("spmxv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Errorf("native wall = %v", d)
+	}
+	if _, err := h.NativeWall("nope"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestFigureUnknown(t *testing.T) {
+	h := quickHarness()
+	if _, err := h.Figure("99"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestAllFiguresListed(t *testing.T) {
+	ids := AllFigures()
+	if len(ids) != 13 {
+		t.Errorf("figures = %v", ids)
+	}
+}
+
+func TestSpeedupFigureQuick(t *testing.T) {
+	h := quickHarness("spmxv")
+	tables, err := h.Figure(Fig8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	var buf bytes.Buffer
+	if err := tables[0].Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "spmxv") || !strings.Contains(out, "Fig. 8") {
+		t.Errorf("output:\n%s", out)
+	}
+	if len(tables[0].Rows) != 1 {
+		t.Errorf("rows = %d", len(tables[0].Rows))
+	}
+}
+
+func TestDistributedFigureQuick(t *testing.T) {
+	h := quickHarness("octree")
+	tables, err := h.Figure(Fig9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 1 {
+		t.Errorf("rows = %d", len(tables[0].Rows))
+	}
+}
+
+func TestValidationFigureQuick(t *testing.T) {
+	h := quickHarness("quicksort")
+	tables, err := h.Figure(Fig5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	// Two rows (CL + VT) for the one benchmark.
+	if len(tables[0].Rows) != 2 {
+		t.Errorf("speedup rows = %d", len(tables[0].Rows))
+	}
+	var buf bytes.Buffer
+	tables[0].Fprint(&buf)
+	if !strings.Contains(buf.String(), "CL") || !strings.Contains(buf.String(), "VT") {
+		t.Errorf("missing CL/VT rows:\n%s", buf.String())
+	}
+}
+
+func TestClusteredAndPolymorphicFiguresQuick(t *testing.T) {
+	for _, id := range []string{Fig12, Fig13} {
+		h := quickHarness("spmxv")
+		if _, err := h.Figure(id); err != nil {
+			t.Fatalf("fig %s: %v", id, err)
+		}
+	}
+}
+
+func TestDriftStudyQuick(t *testing.T) {
+	h := quickHarness("octree")
+	tables, err := h.Figure(Fig10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d (want Fig10 + Fig11)", len(tables))
+	}
+	// 3 T values × 1 benchmark.
+	if len(tables[0].Rows) != 3 || len(tables[1].Rows) != 3 {
+		t.Errorf("rows = %d/%d", len(tables[0].Rows), len(tables[1].Rows))
+	}
+}
+
+func TestSimulationTimeFigureQuick(t *testing.T) {
+	h := quickHarness("conncomp")
+	tables, err := h.Figure(Fig7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tables[0].Rows[0]
+	if row[0] != "conncomp" {
+		t.Errorf("row = %v", row)
+	}
+	// Normalized time and power-law exponent present.
+	if len(row) != len(tables[0].Headers) {
+		t.Errorf("row width %d != header width %d", len(row), len(tables[0].Headers))
+	}
+}
+
+func TestErrorsFigureQuick(t *testing.T) {
+	h := quickHarness("quicksort")
+	tables, err := h.Figure(FigErrors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 2 {
+		t.Errorf("rows = %d (uniform + polymorphic)", len(tables[0].Rows))
+	}
+}
+
+func TestAblationQuick(t *testing.T) {
+	h := quickHarness()
+	tables, err := h.Figure(FigAblation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 12 {
+		t.Errorf("rows = %d (2 benchmarks × 6 policies)", len(tables[0].Rows))
+	}
+	// The strict-order reference rows must report zero deviation.
+	for _, row := range tables[0].Rows {
+		if row[1] == "strict-order" && row[2] != "+0.0%" {
+			t.Errorf("reference deviation = %s", row[2])
+		}
+	}
+}
+
+func TestHostParallelismQuick(t *testing.T) {
+	h := quickHarness("dijkstra")
+	tables, err := h.Figure(FigParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 2 {
+		t.Fatalf("rows = %d", len(tables[0].Rows))
+	}
+	// Dijkstra floods the machine with tasks: a meaningful fraction of
+	// cores must be simulatable concurrently (§VIII).
+	for _, row := range tables[0].Rows {
+		if row[2] == "0.0" {
+			t.Errorf("no concurrently runnable cores: %v", row)
+		}
+	}
+}
+
+func TestHeteroSchedulingQuick(t *testing.T) {
+	h := quickHarness("quicksort")
+	tables, err := h.Figure(FigHetero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 2 {
+		t.Fatalf("rows = %d", len(tables[0].Rows))
+	}
+	for _, row := range tables[0].Rows {
+		if len(row) != 5 {
+			t.Errorf("row shape: %v", row)
+		}
+	}
+}

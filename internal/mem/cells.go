@@ -1,0 +1,139 @@
+package mem
+
+// Cells are the distributed-memory shared-data objects of §IV: structures
+// ("bearing similarity to C structures") referenced through Links,
+// generalized pointers that can designate cells stored locally or
+// remotely. The run-time system (package rt) moves cell contents between
+// cores with DATA_REQUEST/DATA_RESPONSE messages and locks a cell for the
+// duration of each access; this file provides the simulator-side store and
+// the lock/ownership bookkeeping the runtime drives.
+
+// Link is a generalized pointer to a cell.
+type Link struct {
+	id uint64
+}
+
+// Nil reports whether the link references no cell.
+func (l Link) Nil() bool { return l.id == 0 }
+
+// ID returns the raw cell identifier (0 for the nil link).
+func (l Link) ID() uint64 { return l.id }
+
+// Cell is one run-time-managed shared object.
+type Cell struct {
+	id    uint64
+	owner int // core currently holding the data
+	size  int // payload bytes (drives message sizes)
+	addr  uint64
+	data  any // the actual Go payload
+
+	locked     bool
+	lockHolder uint64 // task ID holding the lock
+	// waiters are pending remote requests deferred until unlock; the
+	// runtime drains them.
+	waiters []any
+}
+
+// Owner returns the core currently owning the cell data.
+func (c *Cell) Owner() int { return c.owner }
+
+// Size returns the payload size in bytes.
+func (c *Cell) Size() int { return c.size }
+
+// Addr returns the simulated base address of the cell payload.
+func (c *Cell) Addr() uint64 { return c.addr }
+
+// Data returns the payload.
+func (c *Cell) Data() any { return c.data }
+
+// SetData replaces the payload.
+func (c *Cell) SetData(d any) { c.data = d }
+
+// Locked reports whether the cell is locked.
+func (c *Cell) Locked() bool { return c.locked }
+
+// LockHolder returns the task holding the lock (0 if unlocked).
+func (c *Cell) LockHolder() uint64 {
+	if !c.locked {
+		return 0
+	}
+	return c.lockHolder
+}
+
+// Lock marks the cell locked by task t. It panics if already locked: the
+// runtime must serialize lock acquisition.
+func (c *Cell) Lock(t uint64) {
+	if c.locked {
+		panic("mem: cell already locked")
+	}
+	c.locked = true
+	c.lockHolder = t
+}
+
+// Unlock releases the lock held by task t.
+func (c *Cell) Unlock(t uint64) {
+	if !c.locked || c.lockHolder != t {
+		panic("mem: unlock by non-holder")
+	}
+	c.locked = false
+	c.lockHolder = 0
+}
+
+// SetOwner moves the data to another core.
+func (c *Cell) SetOwner(core int) { c.owner = core }
+
+// PushWaiter queues an opaque deferred request.
+func (c *Cell) PushWaiter(w any) { c.waiters = append(c.waiters, w) }
+
+// PopWaiter removes and returns the oldest deferred request.
+func (c *Cell) PopWaiter() (any, bool) {
+	if len(c.waiters) == 0 {
+		return nil, false
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	return w, true
+}
+
+// NumWaiters returns the number of deferred requests.
+func (c *Cell) NumWaiters() int { return len(c.waiters) }
+
+// CellStore is the global registry of cells for one simulation.
+type CellStore struct {
+	cells map[uint64]*Cell
+	next  uint64
+	alloc *Allocator
+}
+
+// NewCellStore creates an empty store using alloc for simulated addresses.
+func NewCellStore(alloc *Allocator) *CellStore {
+	return &CellStore{cells: make(map[uint64]*Cell), alloc: alloc}
+}
+
+// New creates a cell of size bytes owned by core, holding data, and
+// returns a link to it.
+func (s *CellStore) New(owner int, size int, data any) Link {
+	s.next++
+	c := &Cell{
+		id:    s.next,
+		owner: owner,
+		size:  size,
+		addr:  s.alloc.Alloc(int64(size)),
+		data:  data,
+	}
+	s.cells[c.id] = c
+	return Link{id: c.id}
+}
+
+// Get resolves a link. It panics on the nil link or an unknown id, which
+// indicates a program bug.
+func (s *CellStore) Get(l Link) *Cell {
+	c, ok := s.cells[l.id]
+	if !ok {
+		panic("mem: dereference of invalid link")
+	}
+	return c
+}
+
+// Len returns the number of cells.
+func (s *CellStore) Len() int { return len(s.cells) }

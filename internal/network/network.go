@@ -1,0 +1,405 @@
+// Package network models the on-chip interconnect.
+//
+// Messages are timed analytically at send time by walking the
+// shortest-latency route: each traversed link charges its latency plus the
+// serialization time of the message (size split into chunks at the link's
+// bandwidth), and contention is modeled per directed link with a
+// next-free-time, as the paper highlights ("we do model contention on
+// individual links", §VII). Each hop additionally pays a routing penalty.
+//
+// The network guarantees that a core receives all messages coming from
+// another given core in the order that core sent them; only messages from
+// different senders may be processed out of order (§II.B).
+package network
+
+import (
+	"fmt"
+
+	"simany/internal/topology"
+	"simany/internal/vtime"
+)
+
+// Kind distinguishes message purposes; the simulator kernel and the task
+// run-time system define the concrete values they exchange.
+type Kind int
+
+// Message is one architectural message in flight.
+type Message struct {
+	Src, Dst int
+	Kind     Kind
+	Size     int // payload bytes
+	Payload  any
+
+	// Stamp is the sender's virtual time when the message was emitted.
+	Stamp vtime.Time
+	// Arrival is the computed virtual arrival time at Dst.
+	Arrival vtime.Time
+	// Hops is the route length, recorded for statistics.
+	Hops int
+
+	seq uint64 // global emission order, for deterministic tie-breaks
+}
+
+// Params tunes the fine-grain network behaviour (§III "Architecture
+// Variability": message chunk size, chunk processing time, routing
+// penalty).
+type Params struct {
+	// ChunkSize is the flit/packet payload unit in bytes.
+	ChunkSize int
+	// RouterDelay is the per-hop routing penalty.
+	RouterDelay vtime.Time
+	// MinSize is the minimum effective size of any message (header).
+	MinSize int
+}
+
+// DefaultParams returns the parameters used by the paper-style
+// configurations.
+func DefaultParams() Params {
+	return Params{
+		ChunkSize:   32,
+		RouterDelay: vtime.Cycles(0.5),
+		MinSize:     8,
+	}
+}
+
+// Model is the interconnect simulator.
+type Model struct {
+	topo   *topology.Topology
+	params Params
+
+	// next[src][dst] holds the index (into the topology's neighbor list
+	// of src) of the next hop toward dst, -1 at the destination itself.
+	next [][]int16
+	// Per-node parallel arrays indexed like topology.Neighbors(node):
+	// outgoing link latency, bandwidth, and the contention next-free time.
+	nbLat  [][]vtime.Time
+	nbBW   [][]int
+	nbFree [][]vtime.Time
+
+	lastArrival map[[2]int]vtime.Time // FIFO clamp per (src,dst)
+
+	seq uint64
+
+	// statistics
+	messages  int64
+	totalHops int64
+	bytes     int64
+}
+
+// New builds a network model over a topology. It panics if the topology is
+// disconnected, since every core must be reachable.
+func New(t *topology.Topology, p Params) *Model {
+	if !t.Connected() {
+		panic("network: topology is disconnected")
+	}
+	if p.ChunkSize <= 0 {
+		p.ChunkSize = 32
+	}
+	n := t.N()
+	m := &Model{
+		topo:        t,
+		params:      p,
+		nbLat:       make([][]vtime.Time, n),
+		nbBW:        make([][]int, n),
+		nbFree:      make([][]vtime.Time, n),
+		lastArrival: make(map[[2]int]vtime.Time),
+	}
+	for node := 0; node < n; node++ {
+		nbs := t.Neighbors(node)
+		m.nbLat[node] = make([]vtime.Time, len(nbs))
+		m.nbBW[node] = make([]int, len(nbs))
+		m.nbFree[node] = make([]vtime.Time, len(nbs))
+		for j, nb := range nbs {
+			l, ok := t.LinkBetween(node, nb)
+			if !ok {
+				panic("network: neighbor without link")
+			}
+			m.nbLat[node][j] = l.Latency
+			m.nbBW[node][j] = l.Bandwidth
+		}
+	}
+	m.buildRoutes()
+	return m
+}
+
+// nbIndex returns the index of neighbor nb in node's neighbor list.
+func (m *Model) nbIndex(node, nb int) int {
+	nbs := m.topo.Neighbors(node)
+	for j, v := range nbs {
+		if v == nb {
+			return j
+		}
+	}
+	panic("network: not a neighbor")
+}
+
+// buildRoutes computes shortest-latency next-hop tables with a Dijkstra
+// pass per destination (deterministic: ties broken toward the
+// lowest-numbered neighbor).
+func (m *Model) buildRoutes() {
+	n := m.topo.N()
+	m.next = make([][]int16, n)
+	flat := make([]int16, n*n)
+	for i := range flat {
+		flat[i] = -1
+	}
+	for src := 0; src < n; src++ {
+		m.next[src] = flat[src*n : (src+1)*n : (src+1)*n]
+	}
+	if m.uniformLatency() {
+		// BFS fast path: with equal link latencies, hop count is the
+		// shortest-latency metric, and the FIFO queue visits nodes in
+		// non-decreasing distance with lowest-id parents winning ties.
+		queue := make([]int32, 0, n)
+		dist := make([]int32, n)
+		for dst := 0; dst < n; dst++ {
+			for i := range dist {
+				dist[i] = -1
+			}
+			dist[dst] = 0
+			queue = append(queue[:0], int32(dst))
+			for len(queue) > 0 {
+				node := int(queue[0])
+				queue = queue[1:]
+				for _, nb := range m.topo.Neighbors(node) {
+					if dist[nb] < 0 {
+						dist[nb] = dist[node] + 1
+						m.next[nb][dst] = int16(m.nbIndex(nb, node))
+						queue = append(queue, int32(nb))
+					}
+				}
+			}
+		}
+		return
+	}
+	// Dijkstra per destination over the reversed (symmetric) graph.
+	dist := make([]vtime.Time, n)
+	nextNode := make([]int32, n) // node id of chosen next hop, for ties
+	var pq nodeHeap
+	for dst := 0; dst < n; dst++ {
+		for i := range dist {
+			dist[i] = vtime.Inf
+			nextNode[i] = -1
+		}
+		dist[dst] = 0
+		pq = append(pq[:0], nodeItem{node: dst, d: 0})
+		for len(pq) > 0 {
+			it := pq.pop()
+			if it.d > dist[it.node] {
+				continue
+			}
+			for jIdx, nb := range m.topo.Neighbors(it.node) {
+				// Symmetric links: latency nb->it.node equals
+				// it.node->nb, read from it.node's arrays.
+				w := m.nbLat[it.node][jIdx]
+				// Edge weight must be positive so routes make progress;
+				// zero-latency links count one millicycle for routing.
+				if w <= 0 {
+					w = 1
+				}
+				nd := it.d + w
+				if nd < dist[nb] || (nd == dist[nb] && better(nextNode[nb], it.node)) {
+					if nd < dist[nb] {
+						dist[nb] = nd
+						pq.push(nodeItem{node: nb, d: nd})
+					}
+					nextNode[nb] = int32(it.node)
+					m.next[nb][dst] = int16(m.nbIndex(nb, it.node))
+				}
+			}
+		}
+	}
+}
+
+// uniformLatency reports whether every link has the same latency.
+func (m *Model) uniformLatency() bool {
+	var ref vtime.Time = -1
+	for _, lats := range m.nbLat {
+		for _, l := range lats {
+			if ref < 0 {
+				ref = l
+			} else if l != ref {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func better(current int32, candidate int) bool {
+	return current < 0 || int32(candidate) < current
+}
+
+type nodeItem struct {
+	node int
+	d    vtime.Time
+}
+
+// nodeHeap is a minimal binary min-heap ordered by (d, node); hand-rolled
+// to avoid the interface boxing of container/heap on this hot path.
+type nodeHeap []nodeItem
+
+func (h nodeHeap) less(i, j int) bool {
+	if h[i].d != h[j].d {
+		return h[i].d < h[j].d
+	}
+	return h[i].node < h[j].node
+}
+
+func (h *nodeHeap) push(it nodeItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !(*h).less(i, p) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *nodeHeap) pop() nodeItem {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	old = old[:last]
+	*h = old
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(old) && old.less(l, small) {
+			small = l
+		}
+		if r < len(old) && old.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		old[i], old[small] = old[small], old[i]
+		i = small
+	}
+	return top
+}
+
+// Route returns the full path from src to dst (inclusive of both ends).
+func (m *Model) Route(src, dst int) []int {
+	path := []int{src}
+	for cur := src; cur != dst; {
+		j := m.next[cur][dst]
+		if j < 0 {
+			panic(fmt.Sprintf("network: no route %d -> %d", src, dst))
+		}
+		cur = m.topo.Neighbors(cur)[j]
+		path = append(path, cur)
+	}
+	return path
+}
+
+// chunks returns the number of chunks a message of size bytes occupies.
+func (m *Model) chunks(size int) int64 {
+	if size < m.params.MinSize {
+		size = m.params.MinSize
+	}
+	if size <= 0 {
+		return 1
+	}
+	return int64((size + m.params.ChunkSize - 1) / m.params.ChunkSize)
+}
+
+// Send computes the arrival time of a message emitted at msg.Stamp from
+// msg.Src to msg.Dst, updating link contention state, and returns the
+// message with Arrival, Hops and sequencing filled in. Sending to self
+// arrives immediately.
+func (m *Model) Send(msg Message) Message {
+	m.seq++
+	msg.seq = m.seq
+	m.messages++
+	m.bytes += int64(msg.Size)
+	if msg.Src == msg.Dst {
+		msg.Arrival = msg.Stamp
+		return msg
+	}
+	t := msg.Stamp
+	nChunks := m.chunks(msg.Size)
+	cur := msg.Src
+	for cur != msg.Dst {
+		j := m.next[cur][msg.Dst]
+		lat := m.nbLat[cur][j]
+		bw := m.nbBW[cur][j]
+		// Serialization: chunk bytes / bandwidth, in cycles.
+		ser := vtime.Time(0)
+		if bw > 0 {
+			bytes := nChunks * int64(m.params.ChunkSize)
+			ser = vtime.Time(int64(vtime.Cycle) * bytes / int64(bw))
+		}
+		// Contention: wait for the link to be free, then occupy it for the
+		// serialization time.
+		start := vtime.Max(t, m.nbFree[cur][j])
+		m.nbFree[cur][j] = start + ser
+		t = start + ser + lat + m.params.RouterDelay
+		cur = m.topo.Neighbors(cur)[j]
+		msg.Hops++
+	}
+	m.totalHops += int64(msg.Hops)
+	// FIFO guarantee per (src,dst): arrivals never reorder.
+	pair := [2]int{msg.Src, msg.Dst}
+	if last := m.lastArrival[pair]; t < last {
+		t = last
+	}
+	m.lastArrival[pair] = t
+	msg.Arrival = t
+	return msg
+}
+
+// Seq returns the deterministic global emission index of msg (valid after
+// Send).
+func (msg Message) Seq() uint64 { return msg.seq }
+
+// Stats reports cumulative message count, hop count and payload bytes.
+func (m *Model) Stats() (messages, hops, bytes int64) {
+	return m.messages, m.totalHops, m.bytes
+}
+
+// Topology returns the underlying topology.
+func (m *Model) Topology() *topology.Topology { return m.topo }
+
+// Params returns the network parameters.
+func (m *Model) Params() Params { return m.params }
+
+// OneHopLatency returns the pure latency of the direct link between two
+// neighbors, without contention. It panics if a and b are not neighbors.
+func (m *Model) OneHopLatency(a, b int) vtime.Time {
+	for j, nb := range m.topo.Neighbors(a) {
+		if nb == b {
+			return m.nbLat[a][j]
+		}
+	}
+	panic(fmt.Sprintf("network: %d and %d are not neighbors", a, b))
+}
+
+// MinLatency returns the uncontended end-to-end latency from src to dst for
+// a message of the given size.
+func (m *Model) MinLatency(src, dst, size int) vtime.Time {
+	if src == dst {
+		return 0
+	}
+	nChunks := m.chunks(size)
+	var t vtime.Time
+	cur := src
+	for cur != dst {
+		j := m.next[cur][dst]
+		bw := m.nbBW[cur][j]
+		ser := vtime.Time(0)
+		if bw > 0 {
+			bytes := nChunks * int64(m.params.ChunkSize)
+			ser = vtime.Time(int64(vtime.Cycle) * bytes / int64(bw))
+		}
+		t += ser + m.nbLat[cur][j] + m.params.RouterDelay
+		cur = m.topo.Neighbors(cur)[j]
+	}
+	return t
+}

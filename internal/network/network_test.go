@@ -1,0 +1,245 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"simany/internal/topology"
+	"simany/internal/vtime"
+)
+
+func mesh4x4() *Model {
+	return New(topology.Mesh2D(4, 4, vtime.CyclesInt(1), 128), DefaultParams())
+}
+
+func TestRouteShortest(t *testing.T) {
+	m := mesh4x4()
+	// 0 -> 15 must take 6 hops on a 4x4 mesh.
+	r := m.Route(0, 15)
+	if len(r) != 7 {
+		t.Fatalf("route length = %d hops, want 6: %v", len(r)-1, r)
+	}
+	if r[0] != 0 || r[len(r)-1] != 15 {
+		t.Fatalf("route endpoints wrong: %v", r)
+	}
+	for i := 1; i < len(r); i++ {
+		if _, ok := m.Topology().LinkBetween(r[i-1], r[i]); !ok {
+			t.Fatalf("route uses non-link %d-%d", r[i-1], r[i])
+		}
+	}
+	if r2 := m.Route(5, 5); len(r2) != 1 {
+		t.Fatalf("self route = %v", r2)
+	}
+}
+
+func TestRouteDeterministic(t *testing.T) {
+	a, b := mesh4x4(), mesh4x4()
+	for src := 0; src < 16; src++ {
+		for dst := 0; dst < 16; dst++ {
+			ra, rb := a.Route(src, dst), b.Route(src, dst)
+			if len(ra) != len(rb) {
+				t.Fatalf("nondeterministic route %d->%d", src, dst)
+			}
+			for i := range ra {
+				if ra[i] != rb[i] {
+					t.Fatalf("nondeterministic route %d->%d: %v vs %v", src, dst, ra, rb)
+				}
+			}
+		}
+	}
+}
+
+func TestSendSelf(t *testing.T) {
+	m := mesh4x4()
+	msg := m.Send(Message{Src: 3, Dst: 3, Size: 64, Stamp: vtime.CyclesInt(100)})
+	if msg.Arrival != vtime.CyclesInt(100) || msg.Hops != 0 {
+		t.Errorf("self send arrival = %v hops = %d", msg.Arrival, msg.Hops)
+	}
+}
+
+func TestSendLatency(t *testing.T) {
+	m := mesh4x4()
+	// One hop, 8-byte message -> 1 chunk of 32 bytes at 128 B/cy = 0.25cy
+	// serialization + 1cy latency + 0.5cy router = 1.75cy.
+	msg := m.Send(Message{Src: 0, Dst: 1, Size: 8, Stamp: 0})
+	want := vtime.Cycles(1.75)
+	if msg.Arrival != want {
+		t.Errorf("arrival = %v, want %v", msg.Arrival, want)
+	}
+	if msg.Hops != 1 {
+		t.Errorf("hops = %d", msg.Hops)
+	}
+	// MinLatency must agree on an idle network.
+	if got := m.MinLatency(0, 1, 8); got != want {
+		t.Errorf("MinLatency = %v, want %v", got, want)
+	}
+}
+
+func TestSendMultiHopAdds(t *testing.T) {
+	m := mesh4x4()
+	one := m.MinLatency(0, 1, 8)
+	six := m.MinLatency(0, 15, 8)
+	if six != 6*one {
+		t.Errorf("6-hop latency %v != 6 × %v", six, one)
+	}
+	if m.MinLatency(7, 7, 100) != 0 {
+		t.Error("self min latency should be 0")
+	}
+}
+
+func TestContentionSerializes(t *testing.T) {
+	m := mesh4x4()
+	// Two large messages on the same link at the same time: the second
+	// must wait for the first's serialization slot.
+	a := m.Send(Message{Src: 0, Dst: 1, Size: 128, Stamp: 0})
+	b := m.Send(Message{Src: 0, Dst: 1, Size: 128, Stamp: 0})
+	if b.Arrival <= a.Arrival {
+		t.Errorf("contention not modeled: %v then %v", a.Arrival, b.Arrival)
+	}
+	// 128 bytes = 4 chunks = 128 bytes at 128 B/cy = 1cy serialization.
+	if got, want := b.Arrival-a.Arrival, vtime.CyclesInt(1); got != want {
+		t.Errorf("serialization gap = %v, want %v", got, want)
+	}
+}
+
+func TestContentionIndependentLinks(t *testing.T) {
+	m := mesh4x4()
+	a := m.Send(Message{Src: 0, Dst: 1, Size: 128, Stamp: 0})
+	// Different link (4->5): no interaction.
+	b := m.Send(Message{Src: 4, Dst: 5, Size: 128, Stamp: 0})
+	if a.Arrival != b.Arrival {
+		t.Errorf("independent links interfered: %v vs %v", a.Arrival, b.Arrival)
+	}
+}
+
+func TestFIFOPerPair(t *testing.T) {
+	m := mesh4x4()
+	// Force a later-stamped message to be sent first; an earlier-stamped
+	// one sent afterwards must not arrive before it (per-pair FIFO).
+	first := m.Send(Message{Src: 0, Dst: 15, Size: 1024, Stamp: vtime.CyclesInt(50)})
+	second := m.Send(Message{Src: 0, Dst: 15, Size: 8, Stamp: vtime.CyclesInt(0)})
+	if second.Arrival < first.Arrival {
+		t.Errorf("FIFO violated: %v before %v", second.Arrival, first.Arrival)
+	}
+}
+
+func TestSeqMonotonic(t *testing.T) {
+	m := mesh4x4()
+	var last uint64
+	for i := 0; i < 10; i++ {
+		msg := m.Send(Message{Src: 0, Dst: 1, Size: 8})
+		if msg.Seq() <= last {
+			t.Fatal("sequence numbers not strictly increasing")
+		}
+		last = msg.Seq()
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := mesh4x4()
+	m.Send(Message{Src: 0, Dst: 15, Size: 100, Stamp: 0})
+	m.Send(Message{Src: 1, Dst: 2, Size: 50, Stamp: 0})
+	msgs, hops, bytes := m.Stats()
+	if msgs != 2 || bytes != 150 {
+		t.Errorf("stats = %d msgs %d bytes", msgs, bytes)
+	}
+	if hops != 6+1 {
+		t.Errorf("hops = %d, want 7", hops)
+	}
+}
+
+func TestOneHopLatency(t *testing.T) {
+	m := mesh4x4()
+	if m.OneHopLatency(0, 1) != vtime.CyclesInt(1) {
+		t.Error("wrong one-hop latency")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-neighbors")
+		}
+	}()
+	m.OneHopLatency(0, 15)
+}
+
+func TestDisconnectedPanics(t *testing.T) {
+	tp := topology.New(3, "disc")
+	tp.AddLink(0, 1, vtime.CyclesInt(1), 128)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for disconnected topology")
+		}
+	}()
+	New(tp, DefaultParams())
+}
+
+func TestClusteredRoutesPreferCheapLinks(t *testing.T) {
+	// In a clustered topology, intra-cluster routes should use the
+	// 0.5-cycle links only.
+	tp := topology.Clustered(16, topology.DefaultClusteredParams(4))
+	m := New(tp, DefaultParams())
+	r := m.Route(0, 3) // both in cluster 0 (cores 0..3)
+	for i := 1; i < len(r); i++ {
+		l, _ := tp.LinkBetween(r[i-1], r[i])
+		if l.Latency != vtime.Cycles(0.5) {
+			t.Fatalf("intra-cluster route used %v link", l.Latency)
+		}
+	}
+	// Cross-cluster route must include exactly the needed inter links.
+	r = m.Route(0, 5) // cluster 0 to cluster 1
+	inter := 0
+	for i := 1; i < len(r); i++ {
+		l, _ := tp.LinkBetween(r[i-1], r[i])
+		if l.Latency == vtime.CyclesInt(4) {
+			inter++
+		}
+	}
+	if inter != 1 {
+		t.Errorf("cross-cluster route crossed %d inter links, want 1", inter)
+	}
+}
+
+// Property: arrival ≥ stamp + uncontended minimum, for random traffic, and
+// per-pair arrivals are monotone in emission order.
+func TestArrivalProperties(t *testing.T) {
+	m := mesh4x4()
+	rng := rand.New(rand.NewSource(4))
+	last := make(map[[2]int]vtime.Time)
+	for i := 0; i < 500; i++ {
+		src, dst := rng.Intn(16), rng.Intn(16)
+		stamp := vtime.Time(rng.Int63n(int64(vtime.CyclesInt(1000))))
+		size := rng.Intn(512)
+		msg := m.Send(Message{Src: src, Dst: dst, Size: size, Stamp: stamp})
+		if msg.Arrival < stamp {
+			t.Fatalf("arrival %v before stamp %v", msg.Arrival, stamp)
+		}
+		if src != dst {
+			if min := m.MinLatency(src, dst, size); msg.Arrival < stamp+0*min {
+				t.Fatalf("arrival too early")
+			}
+		}
+		if src != dst {
+			pair := [2]int{src, dst}
+			if msg.Arrival < last[pair] {
+				t.Fatalf("per-pair FIFO violated")
+			}
+			last[pair] = msg.Arrival
+		}
+	}
+}
+
+func TestHeavyTrafficMakesLatency(t *testing.T) {
+	// A burst of same-link messages must produce strictly growing arrivals.
+	m := mesh4x4()
+	var prev vtime.Time = -1
+	for i := 0; i < 32; i++ {
+		msg := m.Send(Message{Src: 0, Dst: 1, Size: 128, Stamp: 0})
+		if msg.Arrival <= prev {
+			t.Fatalf("burst message %d arrival %v not increasing", i, msg.Arrival)
+		}
+		prev = msg.Arrival
+	}
+	// Uncontended latency for the same message is much smaller.
+	if idle := m.MinLatency(0, 1, 128); prev <= idle*8 {
+		t.Errorf("expected heavy queueing, got %v vs idle %v", prev, idle)
+	}
+}

@@ -1,0 +1,147 @@
+package rt
+
+import (
+	"simany/internal/core"
+	"simany/internal/mem"
+	"simany/internal/network"
+	"simany/internal/vtime"
+)
+
+// Distributed-memory shared data (§IV): cells referenced by links. Every
+// access is exclusive — the runtime transfers the cell contents to the
+// accessing core (whether the access is a read or a write, §VI "Simulation
+// Speed") and keeps the cell locked for the access duration.
+
+// cellWaiter is a deferred access request parked on a locked cell.
+type cellWaiter struct {
+	task *core.Task
+	core int
+}
+
+// NewCell creates a shared cell of size bytes owned by the calling core and
+// returns its link. The creation is charged as a local L2 installation.
+func (r *Runtime) NewCell(e *core.Env, size int, data any) mem.Link {
+	l := r.cells.New(e.CoreID(), size, data)
+	c := r.cells.Get(l)
+	e.Kernel().Core(e.CoreID()).L2().Install(c.Addr(), int64(size))
+	e.ComputeCycles(2) // allocation bookkeeping
+	return l
+}
+
+// CellData peeks at a cell's payload without simulated cost. It is intended
+// for result verification after the simulation, not for simulated program
+// logic.
+func (r *Runtime) CellData(l mem.Link) any {
+	return r.cells.Get(l).Data()
+}
+
+// Access performs an exclusive access to the cell behind l from the current
+// task: it acquires the cell (moving its contents into this core's L2 if
+// they are remote), runs f on the payload, stores f's non-nil result back,
+// and releases the cell. While the cell is held the core is exempt from
+// spatial stalling, as any lock holder (§II.B).
+func (r *Runtime) Access(e *core.Env, l mem.Link, f func(data any) any) {
+	cell := r.cells.Get(l)
+	me := e.CoreID()
+	taskID := e.Task().ID
+
+	for {
+		if cell.Owner() == me && !cell.Locked() {
+			cell.Lock(taskID)
+			break
+		}
+		if cell.Owner() == me {
+			// Locked by another task (possibly on this very core): queue
+			// and wait for the grant.
+			cell.PushWaiter(&cellWaiter{task: e.Task(), core: me})
+			e.Block()
+			// The granter locked the cell for us and moved it here.
+			if cell.Owner() == me && cell.LockHolder() == taskID {
+				break
+			}
+			continue // ownership raced away; retry
+		}
+		// Remote: request the data from the current owner.
+		r.stats.DataReqs++
+		e.Send(cell.Owner(), KindDataRequest, r.opt.DataReqSize,
+			&dataReq{link: l, requester: e.Task(), reqCore: me})
+		e.Block()
+		if cell.Owner() == me && cell.LockHolder() == taskID {
+			break
+		}
+		// The grant raced away (or was re-queued); try again.
+	}
+
+	e.AcquireLockExempt()
+	// The data now sit in the local L2; charge the access.
+	words := int64((cell.Size() + 7) / 8)
+	e.Read(cell.Addr(), words, 8)
+	if out := f(cell.Data()); out != nil {
+		cell.SetData(out)
+		e.Write(cell.Addr(), words, 8)
+	}
+	// Unlock and grant atomically: ReleaseLockExempt may stall the core
+	// (re-enabling spatial synchronization can yield), and another task
+	// scheduled during that stall must not be able to barge past the
+	// queued waiters.
+	now := e.Now()
+	cell.Unlock(taskID)
+	r.grantNext(cell, me, now)
+	e.ReleaseLockExempt()
+}
+
+// grantNext hands a just-unlocked cell to its oldest waiter, transferring
+// ownership if the waiter sits on another core.
+func (r *Runtime) grantNext(cell *mem.Cell, holderCore int, now vtime.Time) {
+	w, ok := cell.PopWaiter()
+	if !ok {
+		return
+	}
+	cw := w.(*cellWaiter)
+	cell.Lock(cw.task.ID)
+	if cw.core == holderCore {
+		// Same core: no transfer, wake directly with a small handoff.
+		r.k.Unblock(cw.task, now+r.opt.DataHandleCost)
+		return
+	}
+	r.transferCell(cell, holderCore, cw.core, cw.task, now)
+}
+
+// transferCell moves cell contents from one core to another and wakes the
+// requesting task with a DATA_RESPONSE sized by the cell payload.
+func (r *Runtime) transferCell(cell *mem.Cell, from, to int, task *core.Task, at vtime.Time) {
+	r.k.Core(from).L2().Evict(cell.Addr(), int64(cell.Size()))
+	cell.SetOwner(to)
+	r.k.SendAt(from, to, KindDataResponse, cell.Size(),
+		&dataReq{link: mem.Link{}, requester: task, reqCore: to},
+		at+r.opt.DataHandleCost)
+	// Install happens at the destination handler.
+	r.k.Core(to).L2().Install(cell.Addr(), int64(cell.Size()))
+}
+
+// onDataRequest runs at the cell owner: grant immediately if the cell is
+// free, defer if it is locked, forward if the cell has moved.
+func (r *Runtime) onDataRequest(k *core.Kernel, msg network.Message) {
+	req := msg.Payload.(*dataReq)
+	cell := r.cells.Get(req.link)
+	here := msg.Dst
+	if cell.Owner() != here {
+		// The cell moved: chase it.
+		r.stats.DataChases++
+		k.SendAt(here, cell.Owner(), KindDataRequest, msg.Size, req,
+			msg.Arrival+r.opt.DataHandleCost)
+		return
+	}
+	if cell.Locked() {
+		cell.PushWaiter(&cellWaiter{task: req.requester, core: req.reqCore})
+		return
+	}
+	cell.Lock(req.requester.ID)
+	r.transferCell(cell, here, req.reqCore, req.requester, msg.Arrival)
+}
+
+// onDataResponse wakes the requester once the cell contents arrive.
+func (r *Runtime) onDataResponse(k *core.Kernel, msg network.Message) {
+	req := msg.Payload.(*dataReq)
+	k.Unblock(req.requester, msg.Arrival)
+}

@@ -1,0 +1,75 @@
+package rt
+
+import (
+	"simany/internal/core"
+	"simany/internal/network"
+	"simany/internal/vtime"
+)
+
+// Group provides the coarse synchronization of §IV: tasks are spawned into
+// a group; each terminating task decrements the group's active counter; a
+// task calling Join waits until the counter reaches zero, woken by a
+// JOINER_REQUEST from the last finishing task.
+type Group struct {
+	r       *Runtime
+	active  int
+	joiner  *core.Task
+	waiting bool
+	lastEnd vtime.Time // latest member termination stamp seen
+}
+
+// NewGroup creates an empty task group.
+func (r *Runtime) NewGroup() *Group {
+	return &Group{r: r}
+}
+
+// Active returns the number of unfinished tasks in the group.
+func (g *Group) Active() int { return g.active }
+
+func (g *Group) add(n int) { g.active += n }
+
+// taskEnded runs in the terminating task's context (on its core).
+func (g *Group) taskEnded(e *core.Env) {
+	g.active--
+	if g.active < 0 {
+		panic("rt: group counter underflow")
+	}
+	now := e.Now()
+	if now > g.lastEnd {
+		g.lastEnd = now
+	}
+	if g.active == 0 && g.waiting {
+		// Notify the joiner from this core (the paper's JOINER_REQUEST
+		// from the task that decremented the counter last).
+		e.Send(g.joiner.Core().ID, KindJoinerRequest, g.r.opt.JoinerSize, g.joiner)
+	}
+}
+
+// Join waits for every task in the group to finish. If all tasks already
+// terminated, the caller's clock is advanced to the latest termination
+// stamp (the notification it would have waited for); otherwise the task
+// blocks, freeing its core, and resumes on the JOINER_REQUEST with the
+// usual context-switch cost.
+func (r *Runtime) Join(e *core.Env, g *Group) {
+	e.ComputeCycles(1) // counter check
+	if g.active == 0 {
+		if g.lastEnd > e.Now() {
+			e.ComputeTime(g.lastEnd - e.Now())
+		}
+		return
+	}
+	if g.waiting {
+		panic("rt: a group supports a single joiner")
+	}
+	g.joiner = e.Task()
+	g.waiting = true
+	r.stats.JoinWaits++
+	e.Block()
+	g.waiting = false
+	g.joiner = nil
+}
+
+// onJoinerRequest wakes the joining task.
+func (r *Runtime) onJoinerRequest(k *core.Kernel, msg network.Message) {
+	k.Unblock(msg.Payload.(*core.Task), msg.Arrival)
+}

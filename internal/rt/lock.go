@@ -1,0 +1,73 @@
+package rt
+
+import (
+	"simany/internal/core"
+	"simany/internal/vtime"
+)
+
+// Lock is a shared-memory mutex as used by the shared-memory benchmark
+// versions (e.g. protecting graph-node tags in Connected Components). Lock
+// acquisitions from different tasks may be simulated in any order — only
+// per-task ordering matters for correctness (§II.B "Program execution
+// correctness") — and a core running a task that holds a lock is exempt
+// from spatial stalling so the deadlock scenario of Fig. 4 cannot occur.
+type Lock struct {
+	addr    uint64
+	holder  uint64 // task ID, 0 when free
+	waiters []*core.Task
+}
+
+// LockHandoffCost is the coherence-transfer delay charged when a lock moves
+// between tasks (one shared-bank round trip).
+var LockHandoffCost = vtime.CyclesInt(10)
+
+// NewLock allocates a shared-memory lock.
+func (r *Runtime) NewLock() *Lock {
+	return &Lock{addr: r.alloc.Alloc(8)}
+}
+
+// AcquireLock takes the lock, blocking the task (and freeing its core)
+// while another task holds it. The atomic read-modify-write on the lock
+// word is charged through the memory system.
+func (r *Runtime) AcquireLock(e *core.Env, l *Lock) {
+	e.Write(l.addr, 1, 8)
+	if l.holder == 0 {
+		l.holder = e.Task().ID
+		e.AcquireLockExempt()
+		return
+	}
+	l.waiters = append(l.waiters, e.Task())
+	e.Block()
+	if l.holder != e.Task().ID {
+		panic("rt: lock grant mismatch")
+	}
+	e.AcquireLockExempt()
+}
+
+// ReleaseLock releases the lock and hands it to the oldest waiter, if any.
+func (r *Runtime) ReleaseLock(e *core.Env, l *Lock) {
+	if l.holder != e.Task().ID {
+		panic("rt: release of lock not held by task")
+	}
+	e.Write(l.addr, 1, 8)
+	e.ReleaseLockExempt()
+	if len(l.waiters) == 0 {
+		l.holder = 0
+		return
+	}
+	next := l.waiters[0]
+	l.waiters = l.waiters[1:]
+	l.holder = next.ID
+	r.k.Unblock(next, e.Now()+LockHandoffCost)
+}
+
+// TryAcquireLock takes the lock if it is free, without blocking.
+func (r *Runtime) TryAcquireLock(e *core.Env, l *Lock) bool {
+	e.Write(l.addr, 1, 8)
+	if l.holder != 0 {
+		return false
+	}
+	l.holder = e.Task().ID
+	e.AcquireLockExempt()
+	return true
+}

@@ -1,0 +1,196 @@
+package rt
+
+// Randomized stress testing of the whole runtime stack: seeded random
+// fork/join programs mixing compute, shared-memory locks and distributed
+// cells are executed under every synchronization policy. Correctness is
+// schedule-independent (§II.B), so every policy must complete the program
+// and produce the same final counter values; runs with the same seed must
+// be bit-identical in virtual time.
+
+import (
+	"math/rand"
+	"testing"
+
+	"simany/internal/core"
+	"simany/internal/drift"
+	"simany/internal/mem"
+	"simany/internal/topology"
+	"simany/internal/vtime"
+)
+
+// stressProgram describes a randomly generated fork/join workload.
+type stressProgram struct {
+	seed     int64
+	maxDepth int
+	fanout   int
+	counters int
+	useCells bool
+}
+
+// run executes the program on an 8-core mesh under the given policy and
+// returns the final counter values and the virtual execution time.
+func (p stressProgram) run(t *testing.T, pol core.Policy) ([]int64, vtime.Time) {
+	t.Helper()
+	var ms core.MemSystem
+	if p.useCells {
+		ms = mem.NewDistributed()
+	} else {
+		ms = mem.NewShared()
+	}
+	k := core.New(core.Config{Topo: topology.Mesh(8), Policy: pol, Mem: ms, Seed: p.seed})
+	// Check kernel invariants continuously while stressing.
+	k.SetTracer(&core.ValidatingTracer{K: k, Interval: 64})
+	r := New(k, nil, DefaultOptions())
+
+	counters := make([]int64, p.counters)
+	locks := make([]*Lock, p.counters)
+	cells := make([]mem.Link, p.counters)
+
+	// The program structure is derived from a dedicated rng so it is
+	// identical across policies (the kernel's own rng differs per run).
+	var build func(rng *rand.Rand, depth int) func(*core.Env)
+	build = func(rng *rand.Rand, depth int) func(*core.Env) {
+		type action struct {
+			kind int
+			arg  int
+			sub  func(*core.Env)
+		}
+		var acts []action
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				acts = append(acts, action{kind: 0, arg: 10 + rng.Intn(200)})
+			case 1:
+				acts = append(acts, action{kind: 1, arg: rng.Intn(p.counters)})
+			case 2:
+				if depth < p.maxDepth {
+					acts = append(acts, action{kind: 2, sub: build(rng, depth+1)})
+				}
+			case 3:
+				acts = append(acts, action{kind: 3, arg: rng.Intn(64)})
+			}
+		}
+		return func(e *core.Env) {
+			g := r.NewGroup()
+			for _, a := range acts {
+				switch a.kind {
+				case 0:
+					e.ComputeCycles(float64(a.arg))
+				case 1:
+					if p.useCells {
+						r.Access(e, cells[a.arg], func(d any) any { return d.(int64) + 1 })
+					} else {
+						r.AcquireLock(e, locks[a.arg])
+						counters[a.arg]++
+						e.Write(uint64(0x1000+a.arg*64), 1, 8)
+						r.ReleaseLock(e, locks[a.arg])
+					}
+				case 2:
+					sub := a.sub
+					r.SpawnOrRun(e, g, "sub", 16, sub)
+				case 3:
+					e.EnterScope()
+					e.Read(uint64(0x8000+a.arg*32), 8, 8)
+					e.LeaveScope()
+				}
+			}
+			r.Join(e, g)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(p.seed))
+	body := build(rng, 0)
+	res, err := r.Run("stress", func(e *core.Env) {
+		for i := range counters {
+			locks[i] = r.NewLock()
+			if p.useCells {
+				cells[i] = r.NewCell(e, 8, int64(0))
+			}
+		}
+		g := r.NewGroup()
+		for i := 0; i < p.fanout; i++ {
+			r.SpawnOrRun(e, g, "top", 16, body)
+		}
+		r.Join(e, g)
+	})
+	if err != nil {
+		t.Fatalf("policy %s: %v", pol.Name(), err)
+	}
+	out := make([]int64, p.counters)
+	if p.useCells {
+		for i := range out {
+			out[i] = r.CellData(cells[i]).(int64)
+		}
+	} else {
+		copy(out, counters)
+	}
+	return out, res.FinalVT
+}
+
+func stressPolicies() []core.Policy {
+	return []core.Policy{
+		core.Spatial{T: core.DefaultT},
+		core.Spatial{T: vtime.CyclesInt(10)},
+		drift.GlobalQuantum{Q: vtime.CyclesInt(100)},
+		drift.BoundedSlack{W: vtime.CyclesInt(100)},
+		drift.LaxP2P{Slack: vtime.CyclesInt(100)},
+		drift.Unbounded{},
+		drift.Lockstep{},
+	}
+}
+
+// TestStressAllPoliciesAgree: every synchronization scheme completes every
+// random program with identical program output (timing may differ).
+func TestStressAllPoliciesAgree(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		for _, useCells := range []bool{false, true} {
+			p := stressProgram{seed: seed, maxDepth: 3, fanout: 6, counters: 4, useCells: useCells}
+			var ref []int64
+			for i, pol := range stressPolicies() {
+				out, _ := p.run(t, pol)
+				if i == 0 {
+					ref = out
+					continue
+				}
+				for j := range ref {
+					if out[j] != ref[j] {
+						t.Fatalf("seed %d cells=%v: policy %s counters %v != reference %v",
+							seed, useCells, pol.Name(), out, ref)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStressDeterministic: identical seeds yield identical virtual times.
+func TestStressDeterministic(t *testing.T) {
+	p := stressProgram{seed: 11, maxDepth: 3, fanout: 8, counters: 3}
+	_, a := p.run(t, core.Spatial{T: core.DefaultT})
+	_, b := p.run(t, core.Spatial{T: core.DefaultT})
+	if a != b {
+		t.Fatalf("nondeterministic stress run: %v vs %v", a, b)
+	}
+}
+
+// TestStressCountersConserved: the total increment count is fixed by the
+// program structure, so the counter sum must be identical across policies
+// AND across memory models for the same seed.
+func TestStressCountersConserved(t *testing.T) {
+	for seed := int64(20); seed < 24; seed++ {
+		pShared := stressProgram{seed: seed, maxDepth: 2, fanout: 5, counters: 3}
+		pCells := pShared
+		pCells.useCells = true
+		sharedOut, _ := pShared.run(t, core.Spatial{T: core.DefaultT})
+		cellsOut, _ := pCells.run(t, core.Spatial{T: core.DefaultT})
+		var sumA, sumB int64
+		for i := range sharedOut {
+			sumA += sharedOut[i]
+			sumB += cellsOut[i]
+		}
+		if sumA != sumB {
+			t.Fatalf("seed %d: lock counters %v vs cell counters %v", seed, sharedOut, cellsOut)
+		}
+	}
+}

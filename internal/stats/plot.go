@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Plot renders curves as an ASCII chart. The paper's speedup figures use
+// logarithmic axes on both sides; LogX/LogY reproduce that so saturation
+// knees and collapses appear exactly where they do in print.
+type Plot struct {
+	Title      string
+	XLabel     string
+	YLabel     string
+	LogX, LogY bool
+	Width      int // plot area columns (default 60)
+	Height     int // plot area rows (default 16)
+	Series     []Series
+}
+
+// seriesMarks are the per-curve glyphs, recycled if there are more curves.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+func (p *Plot) dims() (w, h int) {
+	w, h = p.Width, p.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	return w, h
+}
+
+// bounds returns the data ranges, in (possibly log-mapped) plot space.
+func (p *Plot) bounds() (x0, x1, y0, y1 float64, ok bool) {
+	x0, y0 = math.Inf(1), math.Inf(1)
+	x1, y1 = math.Inf(-1), math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.X {
+			x, y, valid := p.mapPoint(s.X[i], s.Y[i])
+			if !valid {
+				continue
+			}
+			x0, x1 = math.Min(x0, x), math.Max(x1, x)
+			y0, y1 = math.Min(y0, y), math.Max(y1, y)
+			ok = true
+		}
+	}
+	if x1 == x0 {
+		x1 = x0 + 1
+	}
+	if y1 == y0 {
+		y1 = y0 + 1
+	}
+	return x0, x1, y0, y1, ok
+}
+
+// mapPoint applies the log mappings; points invalid under a log axis are
+// dropped.
+func (p *Plot) mapPoint(x, y float64) (mx, my float64, ok bool) {
+	mx, my = x, y
+	if p.LogX {
+		if x <= 0 {
+			return 0, 0, false
+		}
+		mx = math.Log10(x)
+	}
+	if p.LogY {
+		if y <= 0 {
+			return 0, 0, false
+		}
+		my = math.Log10(y)
+	}
+	if math.IsNaN(mx) || math.IsNaN(my) || math.IsInf(mx, 0) || math.IsInf(my, 0) {
+		return 0, 0, false
+	}
+	return mx, my, true
+}
+
+// Fprint renders the plot.
+func (p *Plot) Fprint(w io.Writer) error {
+	width, height := p.dims()
+	x0, x1, y0, y1, ok := p.bounds()
+	if !ok {
+		_, err := fmt.Fprintf(w, "== %s == (no plottable data)\n", p.Title)
+		return err
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range p.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i := range s.X {
+			mx, my, valid := p.mapPoint(s.X[i], s.Y[i])
+			if !valid {
+				continue
+			}
+			col := int((mx - x0) / (x1 - x0) * float64(width-1))
+			row := height - 1 - int((my-y0)/(y1-y0)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				if grid[row][col] == ' ' {
+					grid[row][col] = mark
+				} else if grid[row][col] != mark {
+					grid[row][col] = '?' // collision of different series
+				}
+			}
+		}
+	}
+	if p.Title != "" {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", p.Title); err != nil {
+			return err
+		}
+	}
+	axisVal := func(v float64, log bool) float64 {
+		if log {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	topLabel := FmtRatio(axisVal(y1, p.LogY))
+	botLabel := FmtRatio(axisVal(y0, p.LogY))
+	labelW := len(topLabel)
+	if len(botLabel) > labelW {
+		labelW = len(botLabel)
+	}
+	for r := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, topLabel)
+		case height - 1:
+			label = fmt.Sprintf("%*s", labelW, botLabel)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  %-*s%s\n", strings.Repeat(" ", labelW), width-len(FmtRatio(axisVal(x1, p.LogX))),
+		FmtRatio(axisVal(x0, p.LogX)), FmtRatio(axisVal(x1, p.LogX))); err != nil {
+		return err
+	}
+	if p.XLabel != "" || p.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "%s  x: %s, y: %s\n", strings.Repeat(" ", labelW), p.XLabel, p.YLabel); err != nil {
+			return err
+		}
+	}
+	for si, s := range p.Series {
+		if _, err := fmt.Fprintf(w, "%s  %c %s\n", strings.Repeat(" ", labelW),
+			seriesMarks[si%len(seriesMarks)], s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func examplePlot() *Plot {
+	p := &Plot{
+		Title:  "speedups",
+		XLabel: "cores",
+		YLabel: "speedup",
+		LogX:   true,
+		LogY:   true,
+	}
+	var a, b Series
+	a.Name = "dijkstra"
+	b.Name = "quicksort"
+	for _, n := range []float64{1, 8, 64, 256, 1024} {
+		a.Add(n, n*0.9+0.1)
+		b.Add(n, 1+4*(1-1/n))
+	}
+	p.Series = []Series{a, b}
+	return p
+}
+
+func TestPlotRenders(t *testing.T) {
+	var sb strings.Builder
+	if err := examplePlot().Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== speedups ==", "*", "o", "dijkstra", "quicksort", "x: cores"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The super-linear curve must end up higher (earlier row) than the
+	// saturating one on the right side: find the rightmost '*' and 'o'.
+	lines := strings.Split(out, "\n")
+	starRow, oRow := -1, -1
+	for r, line := range lines {
+		if strings.Contains(line, "*") && starRow == -1 && strings.Contains(line, "|") {
+			starRow = r
+		}
+		if strings.Contains(line, "o") && oRow == -1 && strings.Contains(line, "|") {
+			oRow = r
+		}
+	}
+	if starRow == -1 || oRow == -1 {
+		t.Fatal("marks not found")
+	}
+	if starRow >= oRow {
+		t.Errorf("super-linear curve (row %d) not above saturating curve (row %d)", starRow, oRow)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := &Plot{Title: "empty", LogX: true}
+	var sb strings.Builder
+	if err := p.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no plottable data") {
+		t.Error("empty plot should say so")
+	}
+	// Series with non-positive values under log axes are dropped.
+	p.Series = []Series{{Name: "bad", X: []float64{-1, 0}, Y: []float64{1, 2}}}
+	sb.Reset()
+	if err := p.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no plottable data") {
+		t.Error("all-invalid series should leave no data")
+	}
+}
+
+func TestPlotLinearAxes(t *testing.T) {
+	p := &Plot{Title: "linear", Width: 20, Height: 5}
+	var s Series
+	s.Name = "line"
+	s.Add(0, 0)
+	s.Add(10, 10)
+	p.Series = []Series{s}
+	var sb strings.Builder
+	if err := p.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(sb.String(), "\n")
+	// 1 title + 5 rows + axis + labels + legend.
+	if len(lines) < 8 {
+		t.Errorf("unexpected layout:\n%s", sb.String())
+	}
+}
+
+func TestPlotFlatSeries(t *testing.T) {
+	// Constant series must not divide by zero.
+	p := &Plot{Title: "flat"}
+	var s Series
+	s.Name = "c"
+	s.Add(1, 5)
+	s.Add(2, 5)
+	p.Series = []Series{s}
+	var sb strings.Builder
+	if err := p.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlotCollisionMark(t *testing.T) {
+	p := &Plot{Width: 10, Height: 3}
+	var a, b Series
+	a.Name = "a"
+	b.Name = "b"
+	a.Add(1, 1)
+	a.Add(2, 2)
+	b.Add(1, 1)
+	b.Add(2, 1.5)
+	p.Series = []Series{a, b}
+	var sb strings.Builder
+	if err := p.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "?") {
+		t.Error("expected collision mark for overlapping points")
+	}
+}

@@ -1,0 +1,187 @@
+// Package stats provides the small statistical toolkit the evaluation
+// needs: speedups, geometric means (the paper's error aggregation),
+// relative errors, log-log power-law regression (Fig. 7's "square law"
+// observation) and plain-text table/series rendering for the figure
+// harness.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"simany/internal/vtime"
+)
+
+// Speedup returns base/v as a float ratio (how much faster v is than
+// base).
+func Speedup(base, v vtime.Time) float64 {
+	if v <= 0 {
+		return math.Inf(1)
+	}
+	return float64(base) / float64(v)
+}
+
+// GeoMean returns the geometric mean of xs (NaN for empty input, as there
+// is no meaningful value).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// RelErr returns |a-ref|/ref.
+func RelErr(a, ref float64) float64 {
+	if ref == 0 {
+		if a == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(a-ref) / math.Abs(ref)
+}
+
+// FitPowerLaw fits y ≈ c·x^k by least squares in log-log space and returns
+// (c, k). Points with non-positive coordinates are skipped. It returns
+// (NaN, NaN) with fewer than two usable points.
+func FitPowerLaw(xs, ys []float64) (c, k float64) {
+	var sx, sy, sxx, sxy float64
+	n := 0
+	for i := range xs {
+		if i >= len(ys) || xs[i] <= 0 || ys[i] <= 0 {
+			continue
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		n++
+	}
+	if n < 2 {
+		return math.NaN(), math.NaN()
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return math.NaN(), math.NaN()
+	}
+	k = (fn*sxy - sx*sy) / den
+	c = math.Exp((sy - k*sx) / fn)
+	return c, k
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Series is one named curve of a figure.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Table is a plain-text table with a title, matching one paper figure or
+// table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			} else {
+				parts[i] = cell
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FmtRatio formats a speedup/ratio with adaptive precision.
+func FmtRatio(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "n/a"
+	case math.IsInf(v, 0):
+		return "inf"
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// FmtPct formats a signed relative variation as a percentage.
+func FmtPct(v float64) string {
+	return fmt.Sprintf("%+.1f%%", v*100)
+}

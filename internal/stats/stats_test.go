@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"simany/internal/vtime"
+)
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(vtime.CyclesInt(100), vtime.CyclesInt(25)); got != 4 {
+		t.Errorf("Speedup = %v", got)
+	}
+	if !math.IsInf(Speedup(vtime.CyclesInt(10), 0), 1) {
+		t.Error("zero denominator should give +Inf")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v", got)
+	}
+	if got := GeoMean([]float64{3, 3, 3}); math.Abs(got-3) > 1e-12 {
+		t.Errorf("GeoMean = %v", got)
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("empty GeoMean should be NaN")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -2})) {
+		t.Error("negative input should be NaN")
+	}
+}
+
+func TestGeoMeanBounds(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := float64(a)+1, float64(b)+1
+		g := GeoMean([]float64{x, y})
+		return g >= math.Min(x, y)-1e-9 && g <= math.Max(x, y)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelErr = %v", got)
+	}
+	if got := RelErr(90, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelErr = %v", got)
+	}
+	if RelErr(0, 0) != 0 {
+		t.Error("0/0 should be 0")
+	}
+	if !math.IsInf(RelErr(1, 0), 1) {
+		t.Error("x/0 should be Inf")
+	}
+}
+
+func TestFitPowerLawExact(t *testing.T) {
+	// y = 3 x^2.
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x
+	}
+	c, k := FitPowerLaw(xs, ys)
+	if math.Abs(c-3) > 1e-9 || math.Abs(k-2) > 1e-9 {
+		t.Errorf("fit = %v * x^%v", c, k)
+	}
+}
+
+func TestFitPowerLawDegenerate(t *testing.T) {
+	if c, k := FitPowerLaw([]float64{1}, []float64{1}); !math.IsNaN(c) || !math.IsNaN(k) {
+		t.Error("single point should be NaN")
+	}
+	if c, k := FitPowerLaw([]float64{2, 2}, []float64{1, 5}); !math.IsNaN(c) || !math.IsNaN(k) {
+		t.Error("vertical line should be NaN")
+	}
+	// Non-positive points skipped.
+	c, k := FitPowerLaw([]float64{-1, 1, 2, 4}, []float64{5, 2, 4, 8})
+	if math.Abs(k-1) > 1e-9 || math.Abs(c-2) > 1e-9 {
+		t.Errorf("fit with skips = %v * x^%v", c, k)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("empty Mean should be NaN")
+	}
+}
+
+func TestSeriesAdd(t *testing.T) {
+	var s Series
+	s.Add(1, 2)
+	s.Add(3, 4)
+	if len(s.X) != 2 || s.Y[1] != 4 {
+		t.Errorf("series = %+v", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:   "Fig. X",
+		Headers: []string{"bench", "cores", "speedup"},
+	}
+	tb.AddRow("quicksort", "64", "5.72")
+	tb.AddRow("cc", "1024", "1.01")
+	var sb strings.Builder
+	if err := tb.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== Fig. X ==", "bench", "quicksort", "5.72", "-----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Errorf("expected 5 lines, got %d", len(lines))
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if FmtRatio(123.4) != "123" {
+		t.Errorf("FmtRatio(123.4) = %s", FmtRatio(123.4))
+	}
+	if FmtRatio(12.34) != "12.3" {
+		t.Errorf("FmtRatio(12.34) = %s", FmtRatio(12.34))
+	}
+	if FmtRatio(1.234) != "1.23" {
+		t.Errorf("FmtRatio(1.234) = %s", FmtRatio(1.234))
+	}
+	if FmtRatio(math.NaN()) != "n/a" || FmtRatio(math.Inf(1)) != "inf" {
+		t.Error("special values")
+	}
+	if FmtPct(-0.188) != "-18.8%" {
+		t.Errorf("FmtPct = %s", FmtPct(-0.188))
+	}
+	if FmtPct(0.321) != "+32.1%" {
+		t.Errorf("FmtPct = %s", FmtPct(0.321))
+	}
+}

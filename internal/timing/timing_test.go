@@ -1,0 +1,174 @@
+package timing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"simany/internal/vtime"
+)
+
+func TestClassString(t *testing.T) {
+	if IntALU.String() != "int-alu" || FPDiv.String() != "fp-div" {
+		t.Error("class names wrong")
+	}
+	if Class(99).String() != "invalid-class" {
+		t.Error("out-of-range class name")
+	}
+}
+
+func TestCountsAddTotal(t *testing.T) {
+	var a, b Counts
+	a[IntALU] = 5
+	a[FPMul] = 2
+	b[IntALU] = 3
+	b[BranchCond] = 1
+	a.Add(b)
+	if a[IntALU] != 8 || a[FPMul] != 2 || a[BranchCond] != 1 {
+		t.Errorf("Add wrong: %v", a)
+	}
+	if a.Total() != 11 {
+		t.Errorf("Total = %d", a.Total())
+	}
+}
+
+func TestPPC405Costs(t *testing.T) {
+	m := PPC405()
+	if m.Cost[IntALU] != vtime.CyclesInt(1) {
+		t.Error("int alu should be single cycle")
+	}
+	if m.Cost[IntMul] <= m.Cost[IntALU] {
+		t.Error("multiply should cost more than add")
+	}
+	if m.Cost[IntDiv] <= m.Cost[IntMul] {
+		t.Error("divide should cost more than multiply")
+	}
+	if m.Cost[FPDiv] <= m.Cost[FPALU] {
+		t.Error("fp divide should cost more than fp add")
+	}
+	if m.MispredictPenalty != vtime.CyclesInt(5) {
+		t.Errorf("mispredict penalty = %v, want 5cy (5-stage pipeline)", m.MispredictPenalty)
+	}
+	if m.PredictRate != 0.90 {
+		t.Errorf("predict rate = %v", m.PredictRate)
+	}
+}
+
+func TestBlockCost(t *testing.T) {
+	m := PPC405()
+	var c Counts
+	c[IntALU] = 10
+	c[IntMul] = 2
+	want := 10*m.Cost[IntALU] + 2*m.Cost[IntMul]
+	if got := m.BlockCost(c); got != want {
+		t.Errorf("BlockCost = %v, want %v", got, want)
+	}
+}
+
+func TestProbabilisticPredictorLargeN(t *testing.T) {
+	p := NewProbabilisticPredictor(0.90, 1)
+	// Large n uses the expectation: exactly 10%.
+	if got := p.Mispredicts(10000); got != 1000 {
+		t.Errorf("Mispredicts(10000) = %d, want 1000", got)
+	}
+	if got := p.Mispredicts(0); got != 0 {
+		t.Errorf("Mispredicts(0) = %d", got)
+	}
+	if got := p.Mispredicts(-5); got != 0 {
+		t.Errorf("Mispredicts(-5) = %d", got)
+	}
+}
+
+func TestProbabilisticPredictorSmallN(t *testing.T) {
+	// Small n samples; with a fixed seed the result is deterministic and
+	// bounded by n.
+	p1 := NewProbabilisticPredictor(0.90, 42)
+	p2 := NewProbabilisticPredictor(0.90, 42)
+	for i := 0; i < 20; i++ {
+		a, b := p1.Mispredicts(10), p2.Mispredicts(10)
+		if a != b {
+			t.Fatal("same seed diverged")
+		}
+		if a < 0 || a > 10 {
+			t.Fatalf("Mispredicts(10) = %d out of range", a)
+		}
+	}
+}
+
+func TestProbabilisticPredictorRateZeroOne(t *testing.T) {
+	perfect := NewProbabilisticPredictor(1.0, 7)
+	for i := int64(1); i < 50; i++ {
+		if perfect.Mispredicts(i) != 0 {
+			t.Fatal("perfect predictor mispredicted")
+		}
+	}
+	never := NewProbabilisticPredictor(0.0, 7)
+	if got := never.Mispredicts(30); got != 30 {
+		t.Fatalf("0%% predictor: %d/30 mispredicts", got)
+	}
+}
+
+func TestTwoBitPredictorDeterministic(t *testing.T) {
+	a := NewTwoBitPredictor(0.7, 3)
+	b := NewTwoBitPredictor(0.7, 3)
+	for i := 0; i < 10; i++ {
+		if a.Mispredicts(100) != b.Mispredicts(100) {
+			t.Fatal("two-bit predictor not deterministic")
+		}
+	}
+}
+
+func TestTwoBitPredictorAdapts(t *testing.T) {
+	// Strongly biased branch streams should be predicted well.
+	p := NewTwoBitPredictor(0.99, 5)
+	m := p.Mispredicts(10000)
+	if float64(m)/10000 > 0.05 {
+		t.Errorf("2-bit predictor miss rate %f on 99%%-taken stream", float64(m)/10000)
+	}
+}
+
+func TestBlockTimerAddsPenalty(t *testing.T) {
+	m := PPC405()
+	bt := NewBlockTimer(m, NewProbabilisticPredictor(0.90, 1))
+	var c Counts
+	c[BranchCond] = 10000
+	got := bt.Time(c)
+	want := m.Cost[BranchCond]*10000 + m.MispredictPenalty*1000
+	if got != want {
+		t.Errorf("Time = %v, want %v", got, want)
+	}
+}
+
+func TestBlockTimerNilPredictor(t *testing.T) {
+	m := PPC405()
+	bt := NewBlockTimer(m, nil)
+	var c Counts
+	c[BranchCond] = 100
+	if got := bt.Time(c); got != m.Cost[BranchCond]*100 {
+		t.Errorf("Time with nil predictor = %v", got)
+	}
+}
+
+func TestMispredictsBounds(t *testing.T) {
+	p := NewProbabilisticPredictor(0.90, 11)
+	f := func(n uint16) bool {
+		m := p.Mispredicts(int64(n))
+		return m >= 0 && m <= int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockCostLinear(t *testing.T) {
+	m := PPC405()
+	f := func(a, b uint8) bool {
+		var c1, c2, sum Counts
+		c1[IntALU] = int64(a)
+		c2[IntALU] = int64(b)
+		sum[IntALU] = int64(a) + int64(b)
+		return m.BlockCost(c1)+m.BlockCost(c2) == m.BlockCost(sum)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,169 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"simany/internal/vtime"
+)
+
+// DefaultLatency is the base link traversal latency used by the paper's
+// distributed-memory configuration (1 cycle, §V).
+var DefaultLatency = vtime.CyclesInt(1)
+
+// DefaultBandwidth is the paper's link bandwidth (128 bytes per cycle, §V).
+const DefaultBandwidth = 128
+
+// MeshDims returns the width and height used for an n-core 2D mesh: the
+// most square factorization of n (paper meshes are 8=4x2, 64=8x8,
+// 256=16x16, 1024=32x32).
+func MeshDims(n int) (w, h int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("topology: invalid mesh size %d", n))
+	}
+	w = int(math.Sqrt(float64(n)))
+	for ; w >= 1; w-- {
+		if n%w == 0 {
+			return n / w, w
+		}
+	}
+	return n, 1
+}
+
+// Mesh2D builds a w×h 2D mesh with uniform link parameters.
+func Mesh2D(w, h int, lat vtime.Time, bw int) *Topology {
+	t := New(w*h, fmt.Sprintf("mesh-%dx%d", w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			c := y*w + x
+			if x+1 < w {
+				t.AddLink(c, c+1, lat, bw)
+			}
+			if y+1 < h {
+				t.AddLink(c, c+w, lat, bw)
+			}
+		}
+	}
+	return t
+}
+
+// Mesh builds the most-square 2D mesh with n cores and default link
+// parameters.
+func Mesh(n int) *Topology {
+	w, h := MeshDims(n)
+	return Mesh2D(w, h, DefaultLatency, DefaultBandwidth)
+}
+
+// Torus2D builds a w×h 2D torus (mesh with wrap-around links).
+func Torus2D(w, h int, lat vtime.Time, bw int) *Topology {
+	t := New(w*h, fmt.Sprintf("torus-%dx%d", w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			c := y*w + x
+			if w > 1 {
+				t.AddLink(c, y*w+(x+1)%w, lat, bw)
+			}
+			if h > 1 {
+				t.AddLink(c, ((y+1)%h)*w+x, lat, bw)
+			}
+		}
+	}
+	return t
+}
+
+// Ring builds an n-core ring.
+func Ring(n int, lat vtime.Time, bw int) *Topology {
+	t := New(n, fmt.Sprintf("ring-%d", n))
+	if n == 1 {
+		return t
+	}
+	for c := 0; c < n; c++ {
+		t.AddLink(c, (c+1)%n, lat, bw)
+	}
+	return t
+}
+
+// Star builds an n-core star centered on core 0.
+func Star(n int, lat vtime.Time, bw int) *Topology {
+	t := New(n, fmt.Sprintf("star-%d", n))
+	for c := 1; c < n; c++ {
+		t.AddLink(0, c, lat, bw)
+	}
+	return t
+}
+
+// FullyConnected builds a complete graph over n cores.
+func FullyConnected(n int, lat vtime.Time, bw int) *Topology {
+	t := New(n, fmt.Sprintf("full-%d", n))
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			t.AddLink(a, b, lat, bw)
+		}
+	}
+	return t
+}
+
+// ClusteredParams carries the link parameters of a clustered mesh. The
+// paper's configuration uses 0.5-cycle intra-cluster links and 4-cycle
+// inter-cluster links (4× the base latency, §V).
+type ClusteredParams struct {
+	Clusters  int
+	IntraLat  vtime.Time
+	InterLat  vtime.Time
+	Bandwidth int
+}
+
+// DefaultClusteredParams returns the paper's clustered configuration for
+// the given cluster count.
+func DefaultClusteredParams(clusters int) ClusteredParams {
+	return ClusteredParams{
+		Clusters:  clusters,
+		IntraLat:  vtime.Cycles(0.5),
+		InterLat:  vtime.CyclesInt(4),
+		Bandwidth: DefaultBandwidth,
+	}
+}
+
+// Clustered builds an n-core network split into p.Clusters equal 2D-mesh
+// clusters. Clusters are arranged in their own most-square mesh; adjacent
+// clusters are joined by a single inter-cluster link between their corner
+// cores.
+func Clustered(n int, p ClusteredParams) *Topology {
+	k := p.Clusters
+	if k <= 0 || n%k != 0 {
+		panic(fmt.Sprintf("topology: %d cores do not split into %d clusters", n, k))
+	}
+	per := n / k
+	w, h := MeshDims(per)
+	t := New(n, fmt.Sprintf("clustered-%d-of-%d", k, per))
+	// Intra-cluster meshes.
+	for ci := 0; ci < k; ci++ {
+		base := ci * per
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				c := base + y*w + x
+				if x+1 < w {
+					t.AddLink(c, c+1, p.IntraLat, p.Bandwidth)
+				}
+				if y+1 < h {
+					t.AddLink(c, c+w, p.IntraLat, p.Bandwidth)
+				}
+			}
+		}
+	}
+	// Inter-cluster links: clusters form their own mesh, connected through
+	// corner cores (core 0 of one cluster to core per-1 of the other).
+	cw, chh := MeshDims(k)
+	for cy := 0; cy < chh; cy++ {
+		for cx := 0; cx < cw; cx++ {
+			ci := cy*cw + cx
+			if cx+1 < cw {
+				t.AddLink(ci*per+per-1, (ci+1)*per, p.InterLat, p.Bandwidth)
+			}
+			if cy+1 < chh {
+				t.AddLink(ci*per+per-1, (ci+cw)*per, p.InterLat, p.Bandwidth)
+			}
+		}
+	}
+	return t
+}

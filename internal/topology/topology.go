@@ -1,0 +1,218 @@
+// Package topology describes interconnection networks between simulated
+// cores.
+//
+// SiMany reads the network as an adjacency matrix from a configuration file
+// and supports arbitrary organizations; the paper's experiments use uniform
+// 2D meshes, clustered meshes (4 or 8 clusters with slower inter-cluster
+// links) and the same meshes with polymorphic cores. Each link carries its
+// own latency and bandwidth (§III "Architecture Variability").
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"simany/internal/vtime"
+)
+
+// Link describes one directed edge of the network. Links are created in
+// symmetric pairs by all constructors, but the representation is directed so
+// that contention is tracked per direction.
+type Link struct {
+	From, To  int
+	Latency   vtime.Time // traversal latency
+	Bandwidth int        // bytes per cycle
+}
+
+// Topology is an interconnection network: a set of cores (vertices) and
+// directed links with individual latencies and bandwidths.
+type Topology struct {
+	n     int
+	adj   [][]int         // neighbor lists, sorted
+	links map[[2]int]Link // directed edges
+	name  string
+}
+
+// New creates an empty topology with n cores and no links.
+func New(n int, name string) *Topology {
+	if n <= 0 {
+		panic(fmt.Sprintf("topology: invalid core count %d", n))
+	}
+	return &Topology{
+		n:     n,
+		adj:   make([][]int, n),
+		links: make(map[[2]int]Link),
+		name:  name,
+	}
+}
+
+// N returns the number of cores.
+func (t *Topology) N() int { return t.n }
+
+// Name returns the descriptive name of the topology.
+func (t *Topology) Name() string { return t.name }
+
+// AddLink adds a symmetric pair of directed links between a and b.
+// Re-adding an existing link overwrites its parameters.
+func (t *Topology) AddLink(a, b int, lat vtime.Time, bw int) {
+	if a == b {
+		panic(fmt.Sprintf("topology: self link at core %d", a))
+	}
+	t.checkCore(a)
+	t.checkCore(b)
+	if bw <= 0 {
+		panic(fmt.Sprintf("topology: non-positive bandwidth on link %d-%d", a, b))
+	}
+	if lat < 0 {
+		panic(fmt.Sprintf("topology: negative latency on link %d-%d", a, b))
+	}
+	_, existed := t.links[[2]int{a, b}]
+	t.links[[2]int{a, b}] = Link{From: a, To: b, Latency: lat, Bandwidth: bw}
+	t.links[[2]int{b, a}] = Link{From: b, To: a, Latency: lat, Bandwidth: bw}
+	if !existed {
+		t.adj[a] = insertSorted(t.adj[a], b)
+		t.adj[b] = insertSorted(t.adj[b], a)
+	}
+}
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func (t *Topology) checkCore(c int) {
+	if c < 0 || c >= t.n {
+		panic(fmt.Sprintf("topology: core %d out of range [0,%d)", c, t.n))
+	}
+}
+
+// Neighbors returns the sorted neighbor list of core c. The returned slice
+// must not be modified.
+func (t *Topology) Neighbors(c int) []int {
+	t.checkCore(c)
+	return t.adj[c]
+}
+
+// Degree returns the number of neighbors of core c.
+func (t *Topology) Degree(c int) int {
+	t.checkCore(c)
+	return len(t.adj[c])
+}
+
+// LinkBetween returns the directed link from a to b.
+func (t *Topology) LinkBetween(a, b int) (Link, bool) {
+	l, ok := t.links[[2]int{a, b}]
+	return l, ok
+}
+
+// Links returns all directed links in a deterministic order.
+func (t *Topology) Links() []Link {
+	out := make([]Link, 0, len(t.links))
+	for _, l := range t.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// NumLinks returns the number of directed links.
+func (t *Topology) NumLinks() int { return len(t.links) }
+
+// Connected reports whether every core can reach every other core.
+func (t *Topology) Connected() bool {
+	if t.n == 0 {
+		return true
+	}
+	seen := make([]bool, t.n)
+	queue := []int{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, nb := range t.adj[c] {
+			if !seen[nb] {
+				seen[nb] = true
+				count++
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return count == t.n
+}
+
+// Diameter returns the largest topological distance (in hops) between any
+// two cores. The spatial synchronization drift between any two cores is
+// bounded by Diameter() × T (§II.A). It returns -1 for a disconnected
+// network.
+func (t *Topology) Diameter() int {
+	diam := 0
+	dist := make([]int, t.n)
+	for src := 0; src < t.n; src++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue := []int{src}
+		for len(queue) > 0 {
+			c := queue[0]
+			queue = queue[1:]
+			for _, nb := range t.adj[c] {
+				if dist[nb] < 0 {
+					dist[nb] = dist[c] + 1
+					queue = append(queue, nb)
+				}
+			}
+		}
+		for _, d := range dist {
+			if d < 0 {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// HopDistance returns the hop count of the shortest path from a to b, or -1
+// if unreachable.
+func (t *Topology) HopDistance(a, b int) int {
+	t.checkCore(a)
+	t.checkCore(b)
+	if a == b {
+		return 0
+	}
+	dist := make([]int, t.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[a] = 0
+	queue := []int{a}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, nb := range t.adj[c] {
+			if dist[nb] < 0 {
+				dist[nb] = dist[c] + 1
+				if nb == b {
+					return dist[nb]
+				}
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return -1
+}

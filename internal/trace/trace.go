@@ -1,0 +1,180 @@
+// Package trace records and analyzes simulator event traces: task
+// lifecycles, stalls, message traffic. A Recorder plugs into the kernel
+// through core.Config.Tracer; the analysis helpers turn the event stream
+// into per-core utilization profiles and an ASCII activity timeline —
+// the practical observability a downstream user of an architecture
+// simulator needs to understand where virtual time goes.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"simany/internal/core"
+	"simany/internal/vtime"
+)
+
+// Recorder collects trace events up to a limit (0 = unlimited). When the
+// limit is reached further events are counted but dropped.
+type Recorder struct {
+	// Limit bounds the retained events (0 = unlimited).
+	Limit int
+
+	events  []core.TraceEvent
+	dropped int64
+}
+
+// NewRecorder creates a Recorder with the given retention limit.
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{Limit: limit}
+}
+
+var _ core.Tracer = (*Recorder)(nil)
+
+// Trace implements core.Tracer.
+func (r *Recorder) Trace(ev core.TraceEvent) {
+	if r.Limit > 0 && len(r.events) >= r.Limit {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// Events returns the retained events in simulation order.
+func (r *Recorder) Events() []core.TraceEvent { return r.events }
+
+// Dropped returns how many events exceeded the limit.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// WriteText dumps the trace as one line per event.
+func (r *Recorder) WriteText(w io.Writer) error {
+	for _, ev := range r.events {
+		var err error
+		switch ev.Kind {
+		case core.TraceSend:
+			_, err = fmt.Fprintf(w, "%8d %12s core%-4d %-11s -> core%d\n",
+				ev.Seq, ev.VT, ev.Core, ev.Kind, ev.Aux)
+		case core.TraceHandle:
+			_, err = fmt.Fprintf(w, "%8d %12s core%-4d %-11s <- core%d\n",
+				ev.Seq, ev.VT, ev.Core, ev.Kind, ev.Aux)
+		default:
+			_, err = fmt.Fprintf(w, "%8d %12s core%-4d %-11s %s(%d)\n",
+				ev.Seq, ev.VT, ev.Core, ev.Kind, ev.Task, ev.TaskID)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if r.dropped > 0 {
+		if _, err := fmt.Fprintf(w, "... %d events dropped (limit %d)\n", r.dropped, r.Limit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// busyInterval is a span of virtual time during which a core executed a
+// task.
+type busyInterval struct {
+	core     int
+	from, to vtime.Time
+}
+
+// busyIntervals reconstructs per-core execution spans from the event
+// stream: a span opens at task-start/resume and closes at the next
+// stall/block/end on the same core. Stall closes the span only virtually —
+// the task resumes at the same VT — so consecutive spans merge naturally.
+func busyIntervals(events []core.TraceEvent) []busyInterval {
+	open := map[int]vtime.Time{} // core -> span start
+	var out []busyInterval
+	for _, ev := range events {
+		switch ev.Kind {
+		case core.TraceTaskStart, core.TraceTaskResume:
+			if _, ok := open[ev.Core]; !ok {
+				open[ev.Core] = ev.VT
+			}
+		case core.TraceTaskBlock, core.TraceTaskEnd, core.TraceTaskStall:
+			if from, ok := open[ev.Core]; ok {
+				if ev.VT > from {
+					out = append(out, busyInterval{core: ev.Core, from: from, to: ev.VT})
+				}
+				delete(open, ev.Core)
+				if ev.Kind == core.TraceTaskStall {
+					// The task still owns the core; it resumes at the
+					// same VT once the stall lifts.
+					open[ev.Core] = ev.VT
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Utilization returns, per core, the fraction of the simulated duration
+// [0, endVT] spent executing tasks.
+func Utilization(events []core.TraceEvent, numCores int, endVT vtime.Time) []float64 {
+	busy := make([]vtime.Time, numCores)
+	for _, iv := range busyIntervals(events) {
+		if iv.core < numCores {
+			busy[iv.core] += iv.to - iv.from
+		}
+	}
+	out := make([]float64, numCores)
+	if endVT <= 0 {
+		return out
+	}
+	for i, b := range busy {
+		out[i] = float64(b) / float64(endVT)
+		if out[i] > 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Timeline renders an ASCII activity chart: one row per core, width
+// columns spanning [0, endVT], '#' where the core was executing.
+func Timeline(w io.Writer, events []core.TraceEvent, numCores int, endVT vtime.Time, width int) error {
+	if width <= 0 {
+		width = 64
+	}
+	rows := make([][]byte, numCores)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	if endVT > 0 {
+		for _, iv := range busyIntervals(events) {
+			if iv.core >= numCores {
+				continue
+			}
+			a := int(int64(iv.from) * int64(width) / int64(endVT))
+			b := int(int64(iv.to) * int64(width) / int64(endVT))
+			if b >= width {
+				b = width - 1
+			}
+			for x := a; x <= b; x++ {
+				rows[iv.core][x] = '#'
+			}
+		}
+	}
+	util := Utilization(events, numCores, endVT)
+	for i, row := range rows {
+		if _, err := fmt.Fprintf(w, "core%-4d |%s| %5.1f%%\n", i, row, 100*util[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MessageCounts aggregates sends per (src, dst) pair, useful for spotting
+// traffic hot spots.
+func MessageCounts(events []core.TraceEvent) map[[2]int]int64 {
+	out := make(map[[2]int]int64)
+	for _, ev := range events {
+		if ev.Kind == core.TraceSend {
+			out[[2]int{ev.Core, int(ev.Aux)}]++
+		}
+	}
+	return out
+}

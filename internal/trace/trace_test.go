@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"simany/internal/core"
+	"simany/internal/mem"
+	"simany/internal/network"
+	"simany/internal/rt"
+	"simany/internal/topology"
+	"simany/internal/vtime"
+)
+
+// tracedRun executes a small fork/join program with tracing enabled.
+func tracedRun(t *testing.T, limit int) (*Recorder, core.Result, *core.Kernel) {
+	t.Helper()
+	rec := NewRecorder(limit)
+	k := core.New(core.Config{
+		Topo:   topology.Mesh(4),
+		Mem:    mem.NewShared(),
+		Seed:   3,
+		Tracer: rec,
+	})
+	r := rt.New(k, nil, rt.DefaultOptions())
+	res, err := r.Run("root", func(e *core.Env) {
+		g := r.NewGroup()
+		for i := 0; i < 6; i++ {
+			r.SpawnOrRun(e, g, "child", 0, func(ce *core.Env) {
+				ce.ComputeCycles(500)
+			})
+		}
+		r.Join(e, g)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, res, k
+}
+
+func TestRecorderCapturesLifecycle(t *testing.T) {
+	rec, _, _ := tracedRun(t, 0)
+	kinds := map[core.TraceKind]int{}
+	for _, ev := range rec.Events() {
+		kinds[ev.Kind]++
+	}
+	for _, want := range []core.TraceKind{
+		core.TraceTaskStart, core.TraceTaskEnd, core.TraceSend, core.TraceHandle,
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("no %s events", want)
+		}
+	}
+	// Starts and ends must balance (root + children all finished).
+	if kinds[core.TraceTaskStart]+kinds[core.TraceTaskResume] < kinds[core.TraceTaskEnd] {
+		t.Errorf("unbalanced lifecycle: %v", kinds)
+	}
+	// Sequence numbers strictly increase.
+	var last uint64
+	for _, ev := range rec.Events() {
+		if ev.Seq <= last {
+			t.Fatal("sequence numbers not increasing")
+		}
+		last = ev.Seq
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	rec, _, _ := tracedRun(t, 5)
+	if len(rec.Events()) != 5 {
+		t.Errorf("retained %d events, limit 5", len(rec.Events()))
+	}
+	if rec.Dropped() == 0 {
+		t.Error("expected drops")
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dropped") {
+		t.Error("drop notice missing")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	rec, _, _ := tracedRun(t, 0)
+	var buf bytes.Buffer
+	if err := rec.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"task-start", "task-end", "send", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace text missing %q", want)
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	rec, res, k := tracedRun(t, 0)
+	util := Utilization(rec.Events(), k.NumCores(), res.FinalVT)
+	if len(util) != 4 {
+		t.Fatalf("util = %v", util)
+	}
+	var total float64
+	for _, u := range util {
+		if u < 0 || u > 1 {
+			t.Errorf("utilization out of range: %v", util)
+		}
+		total += u
+	}
+	if total == 0 {
+		t.Error("nobody did any work")
+	}
+	// Core 0 hosted the root task: it must show activity.
+	if util[0] == 0 {
+		t.Error("root core shows no activity")
+	}
+}
+
+func TestUtilizationEdgeCases(t *testing.T) {
+	if got := Utilization(nil, 2, 0); got[0] != 0 || got[1] != 0 {
+		t.Error("zero end time should give zero utilization")
+	}
+	// Synthetic: one span covering half the time on core 1.
+	evs := []core.TraceEvent{
+		{Seq: 1, Kind: core.TraceTaskStart, Core: 1, VT: 0},
+		{Seq: 2, Kind: core.TraceTaskEnd, Core: 1, VT: vtime.CyclesInt(50)},
+	}
+	util := Utilization(evs, 2, vtime.CyclesInt(100))
+	if util[1] != 0.5 || util[0] != 0 {
+		t.Errorf("util = %v", util)
+	}
+}
+
+func TestStallKeepsSpanOpen(t *testing.T) {
+	// start -> stall -> (resume implied) -> end must count the whole span.
+	evs := []core.TraceEvent{
+		{Seq: 1, Kind: core.TraceTaskStart, Core: 0, VT: 0},
+		{Seq: 2, Kind: core.TraceTaskStall, Core: 0, VT: vtime.CyclesInt(30)},
+		{Seq: 3, Kind: core.TraceTaskEnd, Core: 0, VT: vtime.CyclesInt(100)},
+	}
+	util := Utilization(evs, 1, vtime.CyclesInt(100))
+	if util[0] != 1.0 {
+		t.Errorf("stall broke the busy span: %v", util)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	rec, res, k := tracedRun(t, 0)
+	var buf bytes.Buffer
+	if err := Timeline(&buf, rec.Events(), k.NumCores(), res.FinalVT, 40); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("timeline lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "#") {
+		t.Error("root core timeline empty")
+	}
+	if !strings.Contains(lines[0], "%") {
+		t.Error("utilization column missing")
+	}
+	// Default width path.
+	var buf2 bytes.Buffer
+	if err := Timeline(&buf2, rec.Events(), 1, res.FinalVT, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageCounts(t *testing.T) {
+	rec, _, _ := tracedRun(t, 0)
+	counts := MessageCounts(rec.Events())
+	if len(counts) == 0 {
+		t.Fatal("no message pairs")
+	}
+	var total int64
+	for pair, n := range counts {
+		if pair[0] == pair[1] {
+			continue // self messages allowed (joins on same core)
+		}
+		total += n
+	}
+	if total == 0 {
+		t.Error("no cross-core traffic recorded")
+	}
+}
+
+func TestTracerViaSetTracer(t *testing.T) {
+	k := core.New(core.Config{Topo: topology.Mesh(1), Seed: 1})
+	rec := NewRecorder(0)
+	k.SetTracer(rec)
+	k.InjectTask(0, "w", func(e *core.Env) { e.ComputeCycles(10) }, nil, 0)
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events()) == 0 {
+		t.Error("SetTracer did not take effect")
+	}
+	k.SetTracer(nil) // must not panic on further activity
+	_ = network.Message{}
+}

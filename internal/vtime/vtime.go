@@ -1,0 +1,85 @@
+// Package vtime defines the virtual-time representation used throughout the
+// simulator.
+//
+// SiMany expresses every cost in processor cycles, but some architecture
+// parameters are sub-cycle (the clustered configurations of the paper use
+// 0.5-cycle intra-cluster link latencies). Time is therefore carried as a
+// fixed-point count of millicycles: exact for every parameter in the paper
+// and with ~9.2e15 cycles of range, far beyond any simulated program.
+package vtime
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a virtual time or duration, in millicycles.
+type Time int64
+
+// Cycle is one processor cycle expressed in Time units.
+const Cycle Time = 1000
+
+// Inf is a virtual time later than any reachable simulation time.
+const Inf Time = math.MaxInt64
+
+// Cycles converts a (possibly fractional) cycle count to a Time.
+func Cycles(c float64) Time {
+	return Time(math.Round(c * float64(Cycle)))
+}
+
+// CyclesInt converts a whole cycle count to a Time.
+func CyclesInt(c int64) Time {
+	return Time(c) * Cycle
+}
+
+// InCycles reports t as a float64 number of cycles.
+func (t Time) InCycles() float64 {
+	return float64(t) / float64(Cycle)
+}
+
+// WholeCycles reports t rounded to the nearest whole cycle.
+func (t Time) WholeCycles() int64 {
+	half := int64(Cycle) / 2
+	v := int64(t)
+	if v >= 0 {
+		return (v + half) / int64(Cycle)
+	}
+	return (v - half) / int64(Cycle)
+}
+
+// Scale multiplies t by f, rounding to the nearest unit. It is used for
+// polymorphic cores whose computation costs scale with the inverse of their
+// speed factor.
+func (t Time) Scale(f float64) Time {
+	if t == Inf {
+		return Inf
+	}
+	return Time(math.Round(float64(t) * f))
+}
+
+// String formats the time as a cycle count.
+func (t Time) String() string {
+	if t == Inf {
+		return "+inf"
+	}
+	if t%Cycle == 0 {
+		return fmt.Sprintf("%dcy", int64(t/Cycle))
+	}
+	return fmt.Sprintf("%.3fcy", t.InCycles())
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

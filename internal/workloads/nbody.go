@@ -1,0 +1,217 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Body is a point mass for the Barnes-Hut benchmark.
+type Body struct {
+	X, Y, Z    float64
+	Mass       float64
+	FX, FY, FZ float64 // accumulated force (output)
+}
+
+// RandomBodies places n bodies uniformly in the unit cube with masses in
+// (0, 1].
+func RandomBodies(seed int64, n int) []Body {
+	rng := rand.New(rand.NewSource(seed))
+	bs := make([]Body, n)
+	for i := range bs {
+		bs[i] = Body{
+			X:    rng.Float64(),
+			Y:    rng.Float64(),
+			Z:    rng.Float64(),
+			Mass: rng.Float64()*0.9 + 0.1,
+		}
+	}
+	return bs
+}
+
+// BHNode is one node of the Barnes-Hut space-partitioning tree: internal
+// nodes hold the center of mass of their subtree (§V).
+type BHNode struct {
+	// CX, CY, CZ and Mass form the center of mass.
+	CX, CY, CZ, Mass float64
+	// Half is the half-width of this node's cube.
+	Half float64
+	// Children holds indices of the eight octants (-1 = empty).
+	Children [8]int32
+	// Body is the body index for leaves (-1 for internal nodes).
+	Body int32
+}
+
+// BHTree is the hierarchical partition of a body set.
+type BHTree struct {
+	Nodes  []BHNode
+	Bodies []Body
+	// Theta is the opening criterion of the force traversal.
+	Theta float64
+}
+
+// BuildBHTree constructs the tree over bodies (phase 1 of the benchmark,
+// which the paper executes before the measured phase and broadcasts to all
+// cores).
+func BuildBHTree(bodies []Body, theta float64) *BHTree {
+	t := &BHTree{Bodies: bodies, Theta: theta}
+	if len(bodies) == 0 {
+		return t
+	}
+	root := t.newNode(0.5, 0.5, 0.5, 0.5)
+	for i := range bodies {
+		t.insert(root, int32(i), 0)
+	}
+	t.computeMass(root)
+	return t
+}
+
+func (t *BHTree) newNode(cx, cy, cz, half float64) int32 {
+	t.Nodes = append(t.Nodes, BHNode{
+		CX: cx, CY: cy, CZ: cz, Half: half, Body: -1,
+		Children: [8]int32{-1, -1, -1, -1, -1, -1, -1, -1},
+	})
+	return int32(len(t.Nodes) - 1)
+}
+
+const maxBHDepth = 64
+
+func (t *BHTree) insert(n, body int32, depth int) {
+	node := &t.Nodes[n]
+	if node.Body < 0 && !t.hasChildren(n) {
+		node.Body = body
+		return
+	}
+	if depth >= maxBHDepth {
+		// Coincident points: merge into this leaf (mass handled later by
+		// computeMass walking the body it references).
+		return
+	}
+	if node.Body >= 0 {
+		old := node.Body
+		node.Body = -1
+		t.pushDown(n, old, depth)
+		node = &t.Nodes[n] // pushDown may grow t.Nodes
+	}
+	t.pushDown(n, body, depth)
+}
+
+func (t *BHTree) hasChildren(n int32) bool {
+	for _, c := range t.Nodes[n].Children {
+		if c >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *BHTree) pushDown(n, body int32, depth int) {
+	node := t.Nodes[n]
+	b := t.Bodies[body]
+	oct := 0
+	cx, cy, cz := node.CX, node.CY, node.CZ
+	h := node.Half / 2
+	if b.X >= node.CX {
+		oct |= 1
+		cx += h
+	} else {
+		cx -= h
+	}
+	if b.Y >= node.CY {
+		oct |= 2
+		cy += h
+	} else {
+		cy -= h
+	}
+	if b.Z >= node.CZ {
+		oct |= 4
+		cz += h
+	} else {
+		cz -= h
+	}
+	child := t.Nodes[n].Children[oct]
+	if child < 0 {
+		child = t.newNode(cx, cy, cz, h)
+		t.Nodes[n].Children[oct] = child
+	}
+	t.insert(child, body, depth+1)
+}
+
+func (t *BHTree) computeMass(n int32) (m, mx, my, mz float64) {
+	node := &t.Nodes[n]
+	if node.Body >= 0 {
+		b := t.Bodies[node.Body]
+		node.Mass = b.Mass
+		node.CX, node.CY, node.CZ = b.X, b.Y, b.Z
+		return b.Mass, b.X * b.Mass, b.Y * b.Mass, b.Z * b.Mass
+	}
+	var tm, tx, ty, tz float64
+	for _, c := range node.Children {
+		if c < 0 {
+			continue
+		}
+		cm, cx, cy, cz := t.computeMass(c)
+		tm += cm
+		tx += cx
+		ty += cy
+		tz += cz
+	}
+	node.Mass = tm
+	if tm > 0 {
+		node.CX, node.CY, node.CZ = tx/tm, ty/tm, tz/tm
+	}
+	return tm, tx, ty, tz
+}
+
+// ForceOn computes the force on body i by traversing the tree with the
+// opening criterion theta and returns the number of nodes visited (the
+// benchmark's annotation weight).
+func (t *BHTree) ForceOn(i int) (fx, fy, fz float64, visited int) {
+	if len(t.Nodes) == 0 {
+		return 0, 0, 0, 0
+	}
+	b := t.Bodies[i]
+	var rec func(n int32)
+	rec = func(n int32) {
+		node := &t.Nodes[n]
+		visited++
+		if node.Mass == 0 {
+			return
+		}
+		dx := node.CX - b.X
+		dy := node.CY - b.Y
+		dz := node.CZ - b.Z
+		d2 := dx*dx + dy*dy + dz*dz
+		if node.Body == int32(i) {
+			return
+		}
+		d := math.Sqrt(d2) + 1e-9
+		if node.Body >= 0 || (2*node.Half)/d < t.Theta {
+			f := b.Mass * node.Mass / (d2 + 1e-9)
+			fx += f * dx / d
+			fy += f * dy / d
+			fz += f * dz / d
+			return
+		}
+		for _, c := range node.Children {
+			if c >= 0 {
+				rec(c)
+			}
+		}
+	}
+	rec(0)
+	return fx, fy, fz, visited
+}
+
+// ForcesSeq computes forces on all bodies natively (reference output) and
+// returns them with the total visited-node count.
+func (t *BHTree) ForcesSeq() ([]Body, int64) {
+	out := make([]Body, len(t.Bodies))
+	copy(out, t.Bodies)
+	var total int64
+	for i := range out {
+		fx, fy, fz, v := t.ForceOn(i)
+		out[i].FX, out[i].FY, out[i].FZ = fx, fy, fz
+		total += int64(v)
+	}
+	return out, total
+}

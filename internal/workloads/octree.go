@@ -1,0 +1,90 @@
+package workloads
+
+import "math/rand"
+
+// OctreeNode is one node of the object octree used by the tree-update
+// benchmark ("updates all objects within an Octree structure", §V — the
+// gaming/graphics scenario).
+type OctreeNode struct {
+	Children [8]int32 // -1 = absent
+	Objects  []int64  // object payloads stored at this node
+}
+
+// Octree is a randomly-shaped octree of bounded depth.
+type Octree struct {
+	Nodes []OctreeNode
+	Depth int
+}
+
+// RandomOctree builds an octree of the given depth. Each child of an
+// internal node exists with probability fill, and every node stores between
+// 1 and maxObjs objects. The paper uses 50 random octrees of depth 6.
+func RandomOctree(seed int64, depth int, fill float64, maxObjs int) *Octree {
+	rng := rand.New(rand.NewSource(seed))
+	t := &Octree{Depth: depth}
+	var build func(level int) int32
+	build = func(level int) int32 {
+		idx := int32(len(t.Nodes))
+		t.Nodes = append(t.Nodes, OctreeNode{Children: [8]int32{-1, -1, -1, -1, -1, -1, -1, -1}})
+		nObjs := 1 + rng.Intn(maxObjs)
+		objs := make([]int64, nObjs)
+		for i := range objs {
+			objs[i] = rng.Int63n(1 << 30)
+		}
+		t.Nodes[idx].Objects = objs
+		if level < depth {
+			for c := 0; c < 8; c++ {
+				if rng.Float64() < fill {
+					child := build(level + 1)
+					t.Nodes[idx].Children[c] = child
+				}
+			}
+		}
+		return idx
+	}
+	build(0)
+	return t
+}
+
+// NumObjects counts all stored objects.
+func (t *Octree) NumObjects() int64 {
+	var n int64
+	for i := range t.Nodes {
+		n += int64(len(t.Nodes[i].Objects))
+	}
+	return n
+}
+
+// UpdateObject is the per-object update applied by the benchmark (a cheap
+// deterministic mixing function standing in for a game-world tick).
+func UpdateObject(v int64) int64 {
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	return v
+}
+
+// UpdateSeq applies UpdateObject to every object natively and returns a
+// checksum (reference output).
+func (t *Octree) UpdateSeq() int64 {
+	var sum int64
+	for i := range t.Nodes {
+		for j, v := range t.Nodes[i].Objects {
+			nv := UpdateObject(v)
+			t.Nodes[i].Objects[j] = nv
+			sum += nv
+		}
+	}
+	return sum
+}
+
+// Checksum sums all objects without updating.
+func (t *Octree) Checksum() int64 {
+	var sum int64
+	for i := range t.Nodes {
+		for _, v := range t.Nodes[i].Objects {
+			sum += v
+		}
+	}
+	return sum
+}

@@ -1,0 +1,205 @@
+// Package workloads generates the seeded synthetic inputs for the dwarf
+// benchmarks of §V: random arrays and lists (Quicksort), random graphs
+// (Connected Components, Dijkstra), body sets and their Barnes-Hut
+// partition trees, sparse matrices in a row-oriented Harwell-Boeing-like
+// format (SpMxV), and random octrees (the tree-update scenario).
+//
+// Every generator is deterministic for a given seed; the paper's exact
+// dataset sizes (e.g. 50 arrays of 100,000 elements) are reproduced by the
+// experiment harness's scale flags.
+package workloads
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// RandomArray returns n pseudo-random 64-bit values.
+func RandomArray(seed int64, n int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = rng.Int63n(1 << 40)
+	}
+	return a
+}
+
+// Graph is an undirected multigraph in adjacency-list form, with optional
+// positive edge weights (parallel arrays with Adj).
+type Graph struct {
+	N       int
+	Adj     [][]int32
+	Weights [][]int32 // nil for unweighted graphs
+}
+
+// NumEdges returns the number of (undirected) edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, a := range g.Adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// RandomGraph builds an undirected graph with n nodes and m random edges
+// (self-loops excluded, parallel edges possible, as typical for random
+// benchmark graphs).
+func RandomGraph(seed int64, n, m int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Graph{N: n, Adj: make([][]int32, n)}
+	for e := 0; e < m; e++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			v = (v + 1) % n
+		}
+		g.Adj[u] = append(g.Adj[u], int32(v))
+		g.Adj[v] = append(g.Adj[v], int32(u))
+	}
+	return g
+}
+
+// RandomWeightedGraph builds an undirected weighted graph for the shortest
+// paths benchmark: n nodes, about m edges, weights in [1, maxW].
+func RandomWeightedGraph(seed int64, n, m, maxW int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Graph{N: n, Adj: make([][]int32, n), Weights: make([][]int32, n)}
+	addEdge := func(u, v, w int) {
+		g.Adj[u] = append(g.Adj[u], int32(v))
+		g.Weights[u] = append(g.Weights[u], int32(w))
+		g.Adj[v] = append(g.Adj[v], int32(u))
+		g.Weights[v] = append(g.Weights[v], int32(w))
+	}
+	// Spanning chain keeps the source's component large enough to be
+	// interesting.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		addEdge(perm[i-1], perm[i], 1+rng.Intn(maxW))
+	}
+	for e := n - 1; e < m; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			v = (v + 1) % n
+		}
+		addEdge(u, v, 1+rng.Intn(maxW))
+	}
+	return g
+}
+
+// ConnectedComponentsSeq computes component labels natively with union-find
+// (the reference output for the CC benchmark): every node's label is the
+// smallest node index in its component.
+func ConnectedComponentsSeq(g *Graph) []int32 {
+	parent := make([]int32, g.N)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if ra < rb {
+			parent[rb] = ra
+		} else {
+			parent[ra] = rb
+		}
+	}
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Adj[u] {
+			union(int32(u), v)
+		}
+	}
+	labels := make([]int32, g.N)
+	for i := range labels {
+		labels[i] = find(int32(i))
+	}
+	return labels
+}
+
+// DijkstraSeq computes shortest distances from src natively (reference
+// output). Unreachable nodes get -1.
+func DijkstraSeq(g *Graph, src int) []int64 {
+	const inf = int64(1) << 62
+	dist := make([]int64, g.N)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	type item struct {
+		d int64
+		u int32
+	}
+	// Simple binary heap.
+	h := []item{{0, int32(src)}}
+	push := func(it item) {
+		h = append(h, it)
+		i := len(h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if h[p].d <= h[i].d {
+				break
+			}
+			h[p], h[i] = h[i], h[p]
+			i = p
+		}
+	}
+	pop := func() item {
+		top := h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(h) && h[l].d < h[small].d {
+				small = l
+			}
+			if r < len(h) && h[r].d < h[small].d {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			h[i], h[small] = h[small], h[i]
+			i = small
+		}
+		return top
+	}
+	for len(h) > 0 {
+		it := pop()
+		if it.d > dist[it.u] {
+			continue
+		}
+		for j, v := range g.Adj[it.u] {
+			nd := it.d + int64(g.Weights[it.u][j])
+			if nd < dist[v] {
+				dist[v] = nd
+				push(item{nd, v})
+			}
+		}
+	}
+	for i := range dist {
+		if dist[i] == inf {
+			dist[i] = -1
+		}
+	}
+	return dist
+}
+
+// SortedCopy returns a sorted copy of a (reference output for Quicksort).
+func SortedCopy(a []int64) []int64 {
+	out := make([]int64, len(a))
+	copy(out, a)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,136 @@
+package simany
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	m := NewMachine(16)
+	sim, err := NewSimulation(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	res, err := sim.Run("hello", func(e *Env) {
+		g := sim.RT.NewGroup()
+		for i := 0; i < 8; i++ {
+			sim.RT.SpawnOrRun(e, g, "work", 0, func(e *Env) {
+				e.ComputeCycles(1000)
+				ran++
+			})
+		}
+		sim.RT.Join(e, g)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 8 {
+		t.Errorf("ran = %d", ran)
+	}
+	if res.FinalVT < Cycles(1000) {
+		t.Errorf("FinalVT = %v", res.FinalVT)
+	}
+}
+
+func TestMachineVariants(t *testing.T) {
+	m := NewMachine(16)
+	m.Style = Polymorphic
+	m.Mem = DistributedMem
+	m.T = Cycles(50)
+	sim, err := NewSimulation(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.K.NumCores() != 16 {
+		t.Errorf("cores = %d", sim.K.NumCores())
+	}
+}
+
+func TestBenchmarksExposed(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 6 {
+		t.Fatalf("benchmarks = %d", len(bs))
+	}
+	b, err := BenchmarkByName("octree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Generate(1, 0.1)
+	if b.RunNative() == 0 {
+		t.Error("suspicious zero checksum")
+	}
+}
+
+func TestBenchmarkEndToEnd(t *testing.T) {
+	b, err := BenchmarkByName("spmxv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Generate(5, 0.1)
+	want := b.RunNative()
+	sim, err := NewSimulation(NewMachine(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, finish := b.Program(sim.RT, BenchShared)
+	if _, err := sim.Run("spmxv", root); err != nil {
+		t.Fatal(err)
+	}
+	if finish() != want {
+		t.Error("simulated result diverged")
+	}
+}
+
+func TestTopologyRoundTripPublic(t *testing.T) {
+	topo := Mesh(16)
+	var buf bytes.Buffer
+	if err := WriteTopology(&buf, topo); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTopology(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 16 {
+		t.Errorf("N = %d", back.N())
+	}
+}
+
+func TestFiguresList(t *testing.T) {
+	ids := Figures()
+	if len(ids) == 0 {
+		t.Fatal("no figures")
+	}
+	joined := strings.Join(ids, ",")
+	for _, want := range []string{"5", "8", "ablation", "errors"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing figure %q in %s", want, joined)
+		}
+	}
+}
+
+func TestHarnessPublic(t *testing.T) {
+	h := NewHarness(ExperimentOptions{Quick: true, Scale: 0.1, Benchmarks: []string{"octree"}})
+	tables, err := h.Figure("8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tables[0].Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "octree") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}
+
+func TestCyclesHelper(t *testing.T) {
+	if Cycles(0.5)*2 != Cycle {
+		t.Error("Cycles(0.5) wrong")
+	}
+	if DefaultT != Cycles(100) {
+		t.Error("DefaultT wrong")
+	}
+}
