@@ -1,0 +1,72 @@
+package simany
+
+// Host-parallelism benchmark for the sharded execution engine: the same
+// 256-core quicksort simulation run sequentially (one shard) and sharded
+// across one partition per host CPU. `go test -bench BenchmarkShardedSpeedup`
+// reports the wall-clock of both modes plus a speedup metric; the committed
+// BENCH_shard.json snapshot is regenerated with
+//
+//	go test -run '^$' -bench BenchmarkShardedSpeedup -benchtime 5x
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"simany/internal/bench"
+	"simany/internal/core"
+	"simany/internal/mem"
+	"simany/internal/rt"
+	"simany/internal/topology"
+)
+
+// runShardedQuicksort simulates quicksort on a 256-core mesh with the given
+// shard/worker split and returns the wall time of the simulation proper.
+func runShardedQuicksort(b *testing.B, shards, workers int) time.Duration {
+	b.Helper()
+	qs, err := bench.ByName("quicksort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs.Generate(42, 1)
+	want := qs.RunNative()
+	k := core.New(core.Config{
+		Topo:    topology.Mesh(256),
+		Policy:  core.Spatial{T: core.DefaultT},
+		Mem:     mem.NewShared(),
+		Seed:    42,
+		Shards:  shards,
+		Workers: workers,
+	})
+	r := rt.New(k, nil, rt.DefaultOptions())
+	root, finish := qs.Program(r, bench.Shared)
+	start := time.Now()
+	if _, err := r.Run("quicksort", root); err != nil {
+		b.Fatal(err)
+	}
+	wall := time.Since(start)
+	if finish() != want {
+		b.Fatal("simulated output diverged from native run")
+	}
+	return wall
+}
+
+// BenchmarkShardedSpeedup measures the wall-clock gain of the sharded
+// engine over the sequential engine on a 256-core mesh. Sharding helps
+// twice: each shard scans only its own cores when picking work (an O(n/S)
+// scheduler instead of O(n)), and with several host CPUs the shards run on
+// parallel worker threads.
+func BenchmarkShardedSpeedup(b *testing.B) {
+	shards := runtime.NumCPU()
+	if shards < 2 {
+		shards = 8 // single-CPU host: still exercise the O(n/S) scheduler
+	}
+	var seq, par time.Duration
+	for i := 0; i < b.N; i++ {
+		seq += runShardedQuicksort(b, 1, 1)
+		par += runShardedQuicksort(b, shards, runtime.NumCPU())
+	}
+	b.ReportMetric(float64(seq.Nanoseconds())/float64(b.N), "seq-ns/op")
+	b.ReportMetric(float64(par.Nanoseconds())/float64(b.N), "par-ns/op")
+	b.ReportMetric(float64(seq)/float64(par), "speedup")
+}

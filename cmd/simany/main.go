@@ -44,6 +44,8 @@ func run(args []string) error {
 		policy    = fs.String("policy", "spatial", "sync policy: spatial, cyclelevel, quantum:<cy>, slack:<cy>, laxp2p:<cy>, unbounded")
 		tCycles   = fs.Float64("T", 100, "maximum local drift T in cycles (spatial sync)")
 		seed      = fs.Int64("seed", 42, "random seed")
+		shards    = fs.Int("shards", 1, "topology partitions for the parallel engine (1 = sequential)")
+		workers   = fs.Int("workers", 0, "host threads driving the shards (0 = all CPUs, capped at -shards)")
 		scale     = fs.Float64("scale", 1, "dataset scale factor (≥1 approaches paper-sized inputs)")
 		verbose   = fs.Bool("v", false, "print runtime statistics")
 		traceFile = fs.String("trace", "", "write an event trace to this file")
@@ -68,13 +70,15 @@ func run(args []string) error {
 		if m.Seed == 0 {
 			m.Seed = *seed
 		}
+		m.Shards, m.Workers = *shards, *workers
 		mode := bench.Shared
 		if m.Mem == config.DistributedMem {
 			mode = bench.Distributed
 		}
 		return execute(b, m, mode, *seed, *scale, *verbose, *traceFile, *timeline)
 	}
-	m = config.Machine{Cores: *cores, T: vtime.Cycles(*tCycles), Policy: *policy, Seed: *seed}
+	m = config.Machine{Cores: *cores, T: vtime.Cycles(*tCycles), Policy: *policy, Seed: *seed,
+		Shards: *shards, Workers: *workers}
 	switch *style {
 	case "uniform":
 		m.Style = config.Uniform
@@ -146,6 +150,13 @@ func execute(b bench.Benchmark, m config.Machine, mode bench.Mode, seed int64, s
 			res.AvgRunnable, res.MaxRunnable)
 		st := r.Stats()
 		fmt.Printf("task runtime     %+v\n", st)
+		if res.Shards > 1 {
+			fmt.Printf("engine           %d shards, %d workers\n", res.Shards, k.Workers())
+			for i, s := range res.PerShard {
+				fmt.Printf("  shard %-3d      %4d cores, %9d steps (%.1f%% of total)\n",
+					i, s.Cores, s.Steps, 100*s.Util)
+			}
+		}
 		printBusiest(k, r)
 	}
 	if rec != nil {

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"simany/internal/core"
+	"simany/internal/mem"
+	"simany/internal/rt"
+	"simany/internal/topology"
+)
+
+// runSharded executes benchmark b on a 16-core mesh split into 4 shards
+// driven by the given number of host threads.
+func runSharded(t *testing.T, b Benchmark, mode Mode, workers int, seed int64) (uint64, core.Result) {
+	t.Helper()
+	var ms core.MemSystem
+	if mode == Distributed {
+		ms = mem.NewDistributed()
+	} else {
+		ms = mem.NewShared()
+	}
+	k := core.New(core.Config{
+		Topo:    topology.Mesh(16),
+		Policy:  core.Spatial{T: core.DefaultT},
+		Mem:     ms,
+		Seed:    seed,
+		Shards:  4,
+		Workers: workers,
+	})
+	if !k.Sharded() {
+		t.Fatalf("%s/%s: expected the sharded engine", b.Name(), mode)
+	}
+	r := rt.New(k, nil, rt.DefaultOptions())
+	root, finish := b.Program(r, mode)
+	res, err := r.Run(b.Name(), root)
+	if err != nil {
+		t.Fatalf("%s/%s workers=%d: %v", b.Name(), mode, workers, err)
+	}
+	return finish(), res
+}
+
+// TestShardedDeterministicAcrossWorkers is the engine's core guarantee
+// applied to every bundled benchmark: for a fixed (seed, shards) pair the
+// entire Result — virtual time, step count, message/byte totals, per-shard
+// breakdown — must be byte-identical no matter how many host threads drive
+// the shards, and the simulated computation must still produce the native
+// checksum.
+func TestShardedDeterministicAcrossWorkers(t *testing.T) {
+	const seed = 42
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			b, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Generate(seed, 1)
+			want := b.RunNative()
+			modes := []Mode{Shared}
+			if !testing.Short() {
+				modes = append(modes, Distributed)
+			}
+			for _, mode := range modes {
+				sum, base := runSharded(t, b, mode, 1, seed)
+				if sum != want {
+					t.Errorf("%s workers=1: checksum %#x, native %#x", mode, sum, want)
+				}
+				for _, w := range []int{2, 8} {
+					gotSum, got := runSharded(t, b, mode, w, seed)
+					if gotSum != want {
+						t.Errorf("%s workers=%d: checksum %#x, native %#x", mode, w, gotSum, want)
+					}
+					if !reflect.DeepEqual(got, base) {
+						t.Errorf("%s workers=%d: result diverged:\n  got  %+v\n  want %+v",
+							mode, w, got, base)
+					}
+				}
+			}
+		})
+	}
+}

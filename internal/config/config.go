@@ -102,6 +102,14 @@ type Machine struct {
 	Seed int64
 	// MaxSteps optionally bounds the simulation (0 = unbounded).
 	MaxSteps int64
+	// Shards splits the machine into contiguous topology partitions that
+	// the kernel executes round-by-round. 0 or 1 keeps the sequential
+	// engine. The shard count is part of the event semantics: results are
+	// deterministic for a fixed (seed, shards) pair.
+	Shards int
+	// Workers is the number of host threads driving the shards (0 =
+	// GOMAXPROCS, capped at Shards). It never affects results.
+	Workers int
 }
 
 // Default returns the paper's reference machine: a uniform shared-memory
@@ -230,6 +238,8 @@ func (m Machine) Build() (*core.Kernel, *rt.Runtime, error) {
 		Speeds:    m.Speeds(),
 		Seed:      m.Seed,
 		MaxSteps:  m.MaxSteps,
+		Shards:    m.Shards,
+		Workers:   m.Workers,
 	}
 	if isCycleLevel {
 		clCfg := cyclelevel.NewConfig(topo, m.Speeds(), m.Seed)

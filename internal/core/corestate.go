@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/rand"
+
 	"simany/internal/cache"
 	"simany/internal/timing"
 	"simany/internal/vtime"
@@ -15,7 +17,13 @@ type Core struct {
 	// costs are divided by Speed.
 	Speed float64
 
-	k *Kernel
+	k   *Kernel
+	dom *domain // execution shard owning this core
+
+	// rng is the core's private random stream (seed ^ coreID splitmix):
+	// draws by simulated code stay deterministic regardless of how shards
+	// are scheduled on host threads.
+	rng *rand.Rand
 
 	vt   vtime.Time // current virtual time (meaningful while busy)
 	idle bool
@@ -74,6 +82,12 @@ func (c *Core) LockDepth() int { return c.lockDepth }
 
 // Stats returns a copy of the core's counters.
 func (c *Core) Stats() CoreStats { return c.stats }
+
+// Rand returns the core's private deterministic random source. Simulated
+// code (runtime policies, benchmark task bodies) must draw from here
+// rather than Kernel.Rand so results do not depend on the interleaving of
+// shard workers.
+func (c *Core) Rand() *rand.Rand { return c.rng }
 
 // Neighbors returns the core's topological neighbors.
 func (c *Core) Neighbors() []int { return c.neighbors }

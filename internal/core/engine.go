@@ -1,0 +1,285 @@
+package core
+
+import (
+	"simany/internal/network"
+	"simany/internal/vtime"
+)
+
+// The kernel executes on one of two engines:
+//
+//   - the sequential engine (seq.go): one scheduling loop over all cores,
+//     exactly the original SiMany kernel;
+//   - the sharded engine (shard.go): the topology is partitioned into
+//     contiguous shards (topology.Partition), each driven by its own local
+//     pickCore/step loop, with cross-shard traffic exchanged through
+//     per-shard mailboxes drained at deterministic round barriers.
+//
+// Both engines schedule through the same per-domain machinery below: a
+// domain is one schedulable partition of the machine (the whole machine for
+// the sequential engine) owning its cores' queues, its yield channel and
+// its share of the bookkeeping.
+
+// domain is one execution shard: the unit of host-side scheduling.
+type domain struct {
+	k     *Kernel
+	id    int
+	cores []*Core // owned cores, ascending ID
+
+	yieldCh chan yieldInfo
+	blocked map[uint64]*Task
+	live    int64 // live tasks resident in this domain
+	maxTime vtime.Time
+	busy    int // non-idle cores
+
+	// limit caps every horizon handed to tasks of this domain while a shard
+	// round is in progress (Inf on the sequential engine and between
+	// rounds): cross-shard effective-time proxies are frozen during a
+	// round, so local progress must not outrun the round quantum.
+	limit vtime.Time
+
+	// Host-parallelism potential sampling (§VIII).
+	runnableSum     int64
+	runnableSamples int64
+	runnableMax     int
+
+	propQueue []int // scratch for shadow-time propagation
+
+	// Sharded-engine state: cross-shard traffic deferred to the next
+	// barrier, and the step count of the current round.
+	outbox     []deferredItem
+	roundSteps int
+	stepsTotal int64
+}
+
+// deferredItem is one unit of cross-shard traffic: either an architectural
+// message to route and handle at the barrier, or an internal operation
+// (state mutation on another shard's data). Items are drained in the
+// deterministic order (stamp, src, idx) — virtual time first, source core
+// for ties, then program order within one source shard.
+type deferredItem struct {
+	stamp vtime.Time
+	src   int32
+	idx   int32 // append position within the producing outbox
+	isMsg bool
+	msg   network.Message
+	op    func()
+}
+
+func (d *domain) enqueueMsg(msg network.Message) {
+	d.outbox = append(d.outbox, deferredItem{
+		stamp: msg.Stamp, src: int32(msg.Src),
+		idx: int32(len(d.outbox)), isMsg: true, msg: msg,
+	})
+}
+
+func (d *domain) enqueueOp(src int, stamp vtime.Time, fn func()) {
+	d.outbox = append(d.outbox, deferredItem{
+		stamp: stamp, src: int32(src),
+		idx: int32(len(d.outbox)), op: fn,
+	})
+}
+
+// runnable reports whether core c can be scheduled now, and the virtual
+// time key used to prioritize it.
+func (d *domain) runnable(c *Core) (vtime.Time, bool) {
+	k := d.k
+	if c.current != nil {
+		// Stalled mid-task: runnable when the horizon has moved past the
+		// core's clock.
+		if c.vt <= k.policy.Horizon(c) {
+			return c.vt, true
+		}
+		return 0, false
+	}
+	if len(c.conts) == 0 && len(c.ready) == 0 {
+		return 0, false
+	}
+	// Picking a task may move the clock forward (to the task's stamp);
+	// starting is always allowed — the first block boundary enforces the
+	// drift.
+	key := c.vt
+	if c.idle {
+		key = vtime.Inf
+		if len(c.conts) > 0 {
+			key = c.conts[0].resume
+		}
+		for _, t := range c.ready {
+			if t.arrival < key {
+				key = t.arrival
+			}
+		}
+	}
+	return key, true
+}
+
+// pickCore selects the runnable core with the lowest virtual-time key not
+// exceeding limit (deterministic; ties broken by core ID). It also samples
+// how many cores were simultaneously runnable — the quantity behind the
+// paper's §VIII observation that spatial synchronization leaves enough
+// independently simulatable cores to keep a multi-core host busy.
+func (d *domain) pickCore(limit vtime.Time) *Core {
+	var best *Core
+	bestKey := vtime.Inf
+	runnable := 0
+	for _, c := range d.cores {
+		key, ok := d.runnable(c)
+		if !ok || key > limit {
+			continue
+		}
+		runnable++
+		if best == nil || key < bestKey {
+			best = c
+			bestKey = key
+		}
+	}
+	if best != nil {
+		d.runnableSamples++
+		d.runnableSum += int64(runnable)
+		if runnable > d.runnableMax {
+			d.runnableMax = runnable
+		}
+	}
+	return best
+}
+
+// step schedules one task segment on core c.
+func (d *domain) step(c *Core) {
+	k := d.k
+	k.steps.Add(1)
+	d.stepsTotal++
+	t := c.current
+	switch {
+	case t != nil:
+		// Resume the stalled task in place.
+	case len(c.conts) > 0:
+		t = c.conts[0]
+		c.conts = c.conts[1:]
+		// Context switch to a joining task resuming execution (§V).
+		c.vt = vtime.Max(c.vt, t.resume) + k.ctxSwitchCost
+		c.stats.Switches++
+		t.state = TaskRunning
+		c.current = t
+		k.emit(TraceTaskResume, c.vt, c.ID, t, 0)
+	default:
+		t = c.ready[0]
+		c.ready = c.ready[1:]
+		// Starting a task costs 10 cycles in addition to the transit time
+		// of the spawn message (§V).
+		c.vt = vtime.Max(c.vt, t.arrival) + k.taskStartCost
+		c.stats.TaskStarts++
+		t.state = TaskRunning
+		c.current = t
+		k.emit(TraceTaskStart, c.vt, c.ID, t, 0)
+		if k.onTaskStart != nil {
+			k.onTaskStart(c, t)
+		}
+	}
+	if c.idle {
+		c.idle = false
+		d.busy++
+	}
+	d.updateEff(c)
+
+	// Hand control to the task goroutine until it yields.
+	t.env.horizon = k.horizonFor(c)
+	if !t.started {
+		t.started = true
+		go t.main()
+	} else {
+		t.cont <- struct{}{}
+	}
+	y := <-d.yieldCh
+
+	switch y.kind {
+	case yieldDone:
+		t.state = TaskDone
+		t.endVT = c.vt
+		c.current = nil
+		d.live--
+		if c.vt > d.maxTime {
+			d.maxTime = c.vt
+		}
+		k.emit(TraceTaskEnd, c.vt, c.ID, t, 0)
+	case yieldBlocked:
+		t.state = TaskBlocked
+		d.blocked[t.ID] = t
+		c.current = nil
+		k.emit(TraceTaskBlock, c.vt, c.ID, t, 0)
+	case yieldStalled:
+		// c.current stays set; the task resumes in place later.
+		k.emit(TraceTaskStall, c.vt, c.ID, t, 0)
+	}
+	if c.current == nil && len(c.conts) == 0 && len(c.ready) == 0 {
+		c.idle = true
+		d.busy--
+	}
+	d.updateEff(c)
+}
+
+// updateEff recomputes c's advertised effective time and propagates shadow
+// updates through idle neighbors until a fixpoint, as idle cores relay
+// virtual-time updates in the paper (§II.A "Non-connected sets of active
+// cores"). Propagation never crosses the domain boundary: proxies held for
+// cores of other shards stay frozen between barriers (the sharded engine
+// refreshes them globally at each barrier), which is exactly the bounded
+// staleness the round quantum accounts for.
+func (d *domain) updateEff(c *Core) {
+	k := d.k
+	if d.busy == 0 {
+		// No anchor: idle-only shadow chains have no fixpoint (each relay
+		// adds T), so everyone advertises Inf until a core wakes up.
+		for _, cc := range d.cores {
+			if cc.eff != vtime.Inf {
+				cc.eff = vtime.Inf
+				for _, nbID := range cc.neighbors {
+					nb := k.cores[nbID]
+					if nb.dom != d {
+						continue
+					}
+					for j, nid := range nb.neighbors {
+						if nid == cc.ID {
+							nb.nbEff[j] = vtime.Inf
+							break
+						}
+					}
+				}
+			}
+		}
+		return
+	}
+	d.propQueue = d.propQueue[:0]
+	d.propQueue = append(d.propQueue, c.ID)
+	for len(d.propQueue) > 0 {
+		id := d.propQueue[0]
+		d.propQueue = d.propQueue[1:]
+		cc := k.cores[id]
+		var eff vtime.Time
+		if cc.idle {
+			eff = k.policy.IdleTime(cc)
+		} else {
+			eff = cc.vt
+		}
+		if eff == cc.eff {
+			continue
+		}
+		cc.eff = eff
+		for _, nbID := range cc.neighbors {
+			nb := k.cores[nbID]
+			if nb.dom != d {
+				continue
+			}
+			// Update the proxy this neighbor keeps for cc.
+			for j, nid := range nb.neighbors {
+				if nid == cc.ID {
+					if nb.nbEff[j] != eff {
+						nb.nbEff[j] = eff
+						if nb.idle {
+							d.propQueue = append(d.propQueue, nbID)
+						}
+					}
+					break
+				}
+			}
+		}
+	}
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"math/rand"
+	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -120,6 +122,95 @@ func TestDriftBoundRandomTopologies(t *testing.T) {
 				t.Fatalf("iter %d: drift %v exceeds bound %v (diam %d)",
 					iter, hi-lo, limit, topo.Diameter())
 			}
+		}
+	}
+}
+
+// TestParallelDriftBound checks the spatial guarantee under the sharded
+// engine: with cross-shard proxies frozen during a round, a core may
+// additionally overrun by at most the round quantum, so the global spread
+// stays within the sequential bound plus the quantum.
+func TestParallelDriftBound(t *testing.T) {
+	T := vtime.CyclesInt(40)
+	block := vtime.CyclesInt(15)
+	quantum := 8 * T // kernel default for Spatial{T}
+	for _, workers := range []int{1, 2, 8} {
+		topo := topology.Mesh(16)
+		k := New(Config{Topo: topo, Policy: Spatial{T: T}, Seed: 7, Shards: 4, Workers: workers})
+		if !k.Sharded() || k.NumShards() != 4 {
+			t.Fatalf("workers=%d: expected 4 shards, got sharded=%v shards=%d",
+				workers, k.Sharded(), k.NumShards())
+		}
+		type rec struct {
+			core int
+			vt   vtime.Time
+		}
+		var mu sync.Mutex
+		var log []rec
+		for c := 0; c < 16; c++ {
+			c := c
+			k.InjectTask(c, "w", func(e *Env) {
+				for i := 0; i < 60; i++ {
+					e.ComputeCycles(15)
+					mu.Lock()
+					log = append(log, rec{c, e.Now()})
+					mu.Unlock()
+				}
+			}, nil, 0)
+		}
+		if _, err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		limit := vtime.Time(topo.Diameter())*T + 2*block + T + quantum
+		// The concurrent log has no global order; check each core's final
+		// clock against every other core's — the end-state spread obeys the
+		// same bound.
+		last := make(map[int]vtime.Time)
+		for _, r := range log {
+			if r.vt > last[r.core] {
+				last[r.core] = r.vt
+			}
+		}
+		lo, hi := vtime.Inf, vtime.Time(0)
+		for _, v := range last {
+			lo, hi = vtime.Min(lo, v), vtime.Max(hi, v)
+		}
+		if hi-lo > limit {
+			t.Fatalf("workers=%d: final drift %v exceeds bound %v", workers, hi-lo, limit)
+		}
+	}
+}
+
+// TestShardedDeterministicAcrossWorkers: for a fixed seed and shard count,
+// the Result must be byte-identical no matter how many host threads drive
+// the shards.
+func TestShardedDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) Result {
+		k := New(Config{Topo: topology.Mesh(16), Policy: Spatial{T: DefaultT},
+			Seed: 11, Shards: 4, Workers: workers})
+		k.Handle(kindOneWay, func(k *Kernel, msg network.Message) {})
+		for c := 0; c < 16; c++ {
+			c := c
+			k.InjectTask(c, "w", func(e *Env) {
+				for i := 0; i < 25; i++ {
+					var counts [8]int64
+					counts[7] = 10 // exercise the per-core predictor stream
+					e.Compute(counts)
+					// Message a distant core: crosses shard boundaries.
+					e.Send((c+7)%16, kindOneWay, 16, nil)
+				}
+			}, nil, 0)
+		}
+		res, err := k.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(1)
+	for _, w := range []int{2, 8} {
+		if got := run(w); !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d: result diverged:\n  got  %+v\n  want %+v", w, got, base)
 		}
 	}
 }

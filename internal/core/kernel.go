@@ -3,7 +3,11 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"simany/internal/cache"
 	"simany/internal/network"
@@ -27,6 +31,18 @@ type NullMem struct{}
 
 // Access implements MemSystem.
 func (NullMem) Access(*Core, uint64, int64, int, bool, vtime.Time) vtime.Time { return 0 }
+
+// ShardSafe implements ShardSafeMem: NullMem is stateless.
+func (NullMem) ShardSafe() bool { return true }
+
+// ShardSafeMem is implemented by memory systems whose Access method only
+// mutates state owned by the accessing core (its L1/L2), making them safe
+// to drive from concurrent shard workers. Memory systems that do not
+// implement it (or return false) force the kernel onto the sequential
+// engine regardless of Config.Shards.
+type ShardSafeMem interface {
+	ShardSafe() bool
+}
 
 // Handler processes an architectural message arriving at msg.Dst. Handlers
 // run synchronously at send time, operate on virtual timestamps only and
@@ -63,7 +79,29 @@ type Config struct {
 	// MaxSteps aborts runaway simulations (0 = no limit).
 	MaxSteps int64
 	// Tracer, when set, receives simulator trace events (see TraceEvent).
+	// Tracing implies a global observation order, so it forces the
+	// sequential engine.
 	Tracer Tracer
+
+	// Shards partitions the topology into contiguous regions, each driven
+	// by its own local scheduling loop with cross-shard traffic exchanged
+	// at deterministic barriers. Shards defines the event semantics: for a
+	// fixed seed and shard count the Result is identical regardless of
+	// Workers or host scheduling. Shards=1 (the default, also used when 0)
+	// reproduces the original sequential kernel bit-for-bit. Values above
+	// the core count are clamped. Sharding silently falls back to the
+	// sequential engine when the policy, the memory system, or an
+	// installed tracer is not shard-safe.
+	Shards int
+	// Workers is the number of host threads driving the shards
+	// (0 = runtime.NumCPU(), capped at Shards). Workers only adds host
+	// parallelism; it never changes the Result.
+	Workers int
+	// ShardQuantum bounds how far cores may be scheduled past the global
+	// minimum virtual time within one shard round (0 = 8×T for the
+	// spatial policy, 8×DefaultT otherwise). Smaller quanta tighten the
+	// cross-shard drift at the price of more barriers.
+	ShardQuantum vtime.Time
 }
 
 // DefaultT is the paper's reference maximum local drift (100 cycles).
@@ -82,28 +120,29 @@ type Kernel struct {
 	taskStartCost vtime.Time
 	ctxSwitchCost vtime.Time
 
-	yieldCh   chan yieldInfo
-	nextTask  uint64
-	liveTasks int64
-	blocked   map[uint64]*Task
+	// Execution engine state: the machine is split into one or more
+	// domains (shards). The sequential engine uses a single domain; the
+	// sharded engine runs the domains on worker goroutines between
+	// deterministic barriers (see shard.go).
+	domains   []*domain
+	part      []int // core ID -> domain index
+	sharded   bool
+	workers   int
+	quantum   vtime.Time
+	inBarrier bool
+	pairLocal []bool // n×n: route stays inside one shard (nil if not precomputed)
 
-	maxTime   vtime.Time
-	steps     int64
-	maxSteps  int64
-	busyCores int
+	nextTask atomic.Uint64
+	steps    atomic.Int64
+	maxSteps int64
+
+	panicMu   sync.Mutex
 	taskPanic error
-
-	// Host-parallelism potential sampling (§VIII): how many cores were
-	// runnable — i.e. independently simulatable within their local time
-	// window — at each scheduling decision.
-	runnableSum     int64
-	runnableSamples int64
-	runnableMax     int
 
 	// out-of-order statistics: arrivals handled per destination.
 	lastHandled []vtime.Time
-	oooMsgs     int64
-	handled     int64
+	oooMsgs     atomic.Int64
+	handled     atomic.Int64
 
 	// onTaskStart, when set, runs right after a fresh task is popped from
 	// a core's queue (the task runtime broadcasts queue occupancy here).
@@ -111,8 +150,15 @@ type Kernel struct {
 
 	tracer   Tracer
 	traceSeq uint64
+}
 
-	propQueue []int // scratch for shadow-time propagation
+// splitmix64 is the SplitMix64 finalizer, used to decorrelate per-core
+// random streams derived from a single user seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // New builds a kernel from a configuration.
@@ -154,8 +200,6 @@ func New(cfg Config) *Kernel {
 		rng:           rand.New(rand.NewSource(cfg.Seed)),
 		taskStartCost: cfg.TaskStartCost,
 		ctxSwitchCost: cfg.CtxSwitchCost,
-		yieldCh:       make(chan yieldInfo),
-		blocked:       make(map[uint64]*Task),
 		maxSteps:      cfg.MaxSteps,
 		lastHandled:   make([]vtime.Time, n),
 		tracer:        cfg.Tracer,
@@ -183,6 +227,7 @@ func New(cfg Config) *Kernel {
 			l1:         cache.NewScoped(cache.DefaultLineSize),
 			l2:         cache.NewL2(cache.DefaultLineSize),
 			birthCache: vtime.Inf,
+			rng:        rand.New(rand.NewSource(int64(splitmix64(uint64(cfg.Seed) ^ uint64(i))))),
 		}
 		c.nbEff = make([]vtime.Time, len(c.neighbors))
 		for j := range c.nbEff {
@@ -190,7 +235,106 @@ func New(cfg Config) *Kernel {
 		}
 		k.cores[i] = c
 	}
+	k.setupEngine(cfg)
 	return k
+}
+
+// setupEngine resolves the Shards/Workers knobs, checks shard safety, and
+// builds the execution domains.
+func (k *Kernel) setupEngine(cfg Config) {
+	n := len(k.cores)
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	if shards > 1 && !k.shardSafe(cfg) {
+		shards = 1
+	}
+	k.sharded = shards > 1
+
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	if workers > shards {
+		workers = shards
+	}
+	k.workers = workers
+
+	k.quantum = cfg.ShardQuantum
+	if k.quantum <= 0 {
+		t := DefaultT
+		if sp, ok := k.policy.(Spatial); ok && sp.T > 0 {
+			t = sp.T
+		}
+		k.quantum = 8 * t
+	}
+
+	k.part = topology.Partition(k.topo, shards)
+	k.domains = make([]*domain, shards)
+	for s := 0; s < shards; s++ {
+		k.domains[s] = &domain{
+			k:       k,
+			id:      s,
+			yieldCh: make(chan yieldInfo),
+			blocked: make(map[uint64]*Task),
+			limit:   vtime.Inf,
+		}
+	}
+	for i, c := range k.cores {
+		d := k.domains[k.part[i]]
+		c.dom = d
+		d.cores = append(d.cores, c)
+	}
+	if k.sharded {
+		k.buildPairLocal()
+	}
+}
+
+// shardSafe reports whether every component tolerates sharded execution:
+// the policy must make purely local decisions, the memory system must only
+// mutate core-owned state, and no tracer may demand a global event order.
+func (k *Kernel) shardSafe(cfg Config) bool {
+	if cfg.Tracer != nil {
+		return false
+	}
+	p, ok := k.policy.(ShardLocalPolicy)
+	if !ok || !p.ShardLocal() {
+		return false
+	}
+	m, ok := k.mem.(ShardSafeMem)
+	if !ok || !m.ShardSafe() {
+		return false
+	}
+	return true
+}
+
+// buildPairLocal precomputes, for every (src,dst) pair, whether the
+// network route stays inside a single shard, so intra-shard messages can
+// be delivered synchronously without touching another shard's link state.
+func (k *Kernel) buildPairLocal() {
+	n := len(k.cores)
+	if n > 4096 {
+		return // fall back to per-send route walks
+	}
+	k.pairLocal = make([]bool, n*n)
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			k.pairLocal[src*n+dst] = k.net.RouteWithin(src, dst, k.part)
+		}
+	}
+}
+
+// localDelivery reports whether a message can be routed and handled
+// synchronously by the shard that owns both endpoints.
+func (k *Kernel) localDelivery(src, dst int) bool {
+	if k.pairLocal != nil {
+		return k.pairLocal[src*len(k.cores)+dst]
+	}
+	return k.net.RouteWithin(src, dst, k.part)
 }
 
 // Core returns core i.
@@ -208,11 +352,30 @@ func (k *Kernel) Network() *network.Model { return k.net }
 // Policy returns the active synchronization policy.
 func (k *Kernel) Policy() Policy { return k.policy }
 
-// Rand returns the kernel's deterministic random source.
+// Rand returns the kernel's deterministic random source. It is safe for
+// pre-run setup only; simulated code must draw from Core.Rand so results
+// stay independent of host scheduling.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
 // CtxSwitchCost returns the configured context-switch overhead.
 func (k *Kernel) CtxSwitchCost() vtime.Time { return k.ctxSwitchCost }
+
+// Sharded reports whether the kernel runs on the sharded parallel engine.
+func (k *Kernel) Sharded() bool { return k.sharded }
+
+// NumShards returns the number of execution domains (1 on the sequential
+// engine).
+func (k *Kernel) NumShards() int { return len(k.domains) }
+
+// Workers returns the number of host threads driving the shards.
+func (k *Kernel) Workers() int { return k.workers }
+
+// ShardOf returns the shard owning core i.
+func (k *Kernel) ShardOf(i int) int { return k.part[i] }
+
+// SameShard reports whether cores a and b belong to the same shard (always
+// true on the sequential engine).
+func (k *Kernel) SameShard(a, b int) bool { return k.part[a] == k.part[b] }
 
 // Handle registers the handler for a message kind. Registering twice for
 // the same kind panics: message kinds are owned by exactly one layer.
@@ -223,17 +386,32 @@ func (k *Kernel) Handle(kind network.Kind, h Handler) {
 	k.handlers[kind] = h
 }
 
-// send routes a message and immediately runs the destination handler.
+// send routes a message toward its destination. On the sequential engine —
+// and for sharded execution whenever source, destination and the full
+// route share one shard — the destination handler runs synchronously and
+// the returned message carries its arrival time. A cross-shard message is
+// deferred to the next barrier instead, where it is routed and handled in
+// deterministic (stamp, source) order; its return value then reports no
+// arrival time (the stamps embedded in handler replies carry the timing).
 func (k *Kernel) send(msg network.Message) network.Message {
+	if k.sharded && !k.inBarrier && !k.localDelivery(msg.Src, msg.Dst) {
+		k.domains[k.part[msg.Src]].enqueueMsg(msg)
+		return msg
+	}
+	return k.sendNow(msg)
+}
+
+// sendNow routes a message and immediately runs the destination handler.
+func (k *Kernel) sendNow(msg network.Message) network.Message {
 	msg = k.net.Send(msg)
 	k.cores[msg.Src].stats.MsgsSent++
 	h, ok := k.handlers[msg.Kind]
 	if !ok {
 		panic(fmt.Sprintf("core: no handler for message kind %d", msg.Kind))
 	}
-	k.handled++
+	k.handled.Add(1)
 	if msg.Arrival < k.lastHandled[msg.Dst] {
-		k.oooMsgs++
+		k.oooMsgs.Add(1)
 	} else {
 		k.lastHandled[msg.Dst] = msg.Arrival
 	}
@@ -253,12 +431,27 @@ func (k *Kernel) SendAt(src, dst int, kind network.Kind, size int, payload any, 
 	})
 }
 
+// Defer schedules fn to run at the next shard barrier, in deterministic
+// (stamp, src) order relative to all other deferred work. src must be a
+// core of the shard executing the calling code — the shard whose outbox
+// receives the item. On the sequential engine (and inside a barrier) fn
+// runs immediately. Layers above the kernel use Defer to mutate state
+// owned by another shard without racing its worker.
+func (k *Kernel) Defer(src int, stamp vtime.Time, fn func()) {
+	if !k.sharded || k.inBarrier {
+		fn()
+		return
+	}
+	k.domains[k.part[src]].enqueueOp(src, stamp, fn)
+}
+
 // NewTask allocates a task executing fn. The task is not yet placed; use
-// PlaceTask (or InjectTask for simulation entry points).
+// PlaceTask (or InjectTask for simulation entry points). Task IDs are
+// unique but their numeric order is not meaningful under sharded
+// execution.
 func (k *Kernel) NewTask(name string, fn func(*Env), meta any) *Task {
-	k.nextTask++
 	return &Task{
-		ID:   k.nextTask,
+		ID:   k.nextTask.Add(1),
 		Name: name,
 		Meta: meta,
 		fn:   fn,
@@ -273,7 +466,8 @@ func (k *Kernel) NewTask(name string, fn func(*Env), meta any) *Task {
 // parent's core that it can discard the corresponding birth date). The
 // birth therefore constrains the parent only across the probe/spawn/
 // migration window; removing it any later can produce stall cycles between
-// mutually-spawning cores.
+// mutually-spawning cores. PlaceTask must run in the context of the shard
+// owning coreID (handlers naturally do: they run where the message lands).
 func (k *Kernel) PlaceTask(t *Task, coreID int, arrival vtime.Time, birthOwner *Core) {
 	c := k.cores[coreID]
 	t.core = c
@@ -281,13 +475,35 @@ func (k *Kernel) PlaceTask(t *Task, coreID int, arrival vtime.Time, birthOwner *
 	t.state = TaskReady
 	t.env = &Env{k: k, t: t, c: c}
 	c.ready = append(c.ready, t)
-	k.liveTasks++
+	c.dom.live++
 	if birthOwner != nil {
-		birthOwner.removeBirth(t.ID)
-		if birthOwner.current != nil && birthOwner.current.env != nil {
-			birthOwner.current.env.horizon = k.policy.Horizon(birthOwner)
+		if k.sharded && !k.inBarrier && k.part[birthOwner.ID] != k.part[coreID] {
+			id := t.ID
+			k.Defer(coreID, arrival, func() { k.clearBirth(birthOwner, id) })
+		} else {
+			k.clearBirth(birthOwner, t.ID)
 		}
 	}
+}
+
+// clearBirth discards a birth entry and re-widens the horizon of whatever
+// runs on the spawning core.
+func (k *Kernel) clearBirth(c *Core, taskID uint64) {
+	c.removeBirth(taskID)
+	if c.current != nil && c.current.env != nil {
+		c.current.env.horizon = k.horizonFor(c)
+	}
+}
+
+// horizonFor evaluates the policy horizon for c, capped by the shard round
+// limit while a round is in progress (frozen cross-shard proxies are only
+// trustworthy up to the round quantum).
+func (k *Kernel) horizonFor(c *Core) vtime.Time {
+	h := k.policy.Horizon(c)
+	if c.dom != nil && h > c.dom.limit {
+		h = c.dom.limit
+	}
+	return h
 }
 
 // SetTaskStartHook registers a callback invoked whenever a fresh task is
@@ -304,7 +520,7 @@ func (k *Kernel) SetTaskStartHook(f func(c *Core, t *Task)) { k.onTaskStart = f 
 func (k *Kernel) RegisterBirth(c *Core, spawned *Task, stamp vtime.Time) {
 	c.addBirth(spawned.ID, stamp)
 	if c.current != nil && c.current.env != nil {
-		c.current.env.horizon = k.policy.Horizon(c)
+		c.current.env.horizon = k.horizonFor(c)
 	}
 }
 
@@ -317,12 +533,14 @@ func (k *Kernel) InjectTask(coreID int, name string, fn func(*Env), meta any, at
 
 // Unblock marks a blocked task runnable again from virtual time at. It is
 // called by message handlers (e.g. when a reply or join notification
-// arrives).
+// arrives). Under sharded execution it must run in the context of the
+// shard owning the task's core (or inside a barrier); cross-shard wakes go
+// through UnblockFrom.
 func (k *Kernel) Unblock(t *Task, at vtime.Time) {
 	k.emit(TraceUnblock, at, t.core.ID, t, int64(at))
 	switch t.state {
 	case TaskBlocked:
-		delete(k.blocked, t.ID)
+		delete(t.core.dom.blocked, t.ID)
 		t.state = TaskReady
 		t.resume = at
 		t.core.conts = append(t.core.conts, t)
@@ -337,6 +555,44 @@ func (k *Kernel) Unblock(t *Task, at vtime.Time) {
 	default:
 		panic(fmt.Sprintf("core: Unblock of task %q in state %d", t.Name, t.state))
 	}
+}
+
+// UnblockFrom wakes t from virtual time at on behalf of code executing in
+// core src's shard. Same-shard (and barrier) wakes apply immediately;
+// cross-shard wakes are deferred to the next barrier so only the owning
+// shard ever mutates the task's core.
+func (k *Kernel) UnblockFrom(src int, t *Task, at vtime.Time) {
+	if !k.sharded || k.inBarrier || k.part[src] == k.part[t.core.ID] {
+		k.Unblock(t, at)
+		return
+	}
+	k.Defer(src, at, func() { k.Unblock(t, at) })
+}
+
+// setPanic records the first task panic (workers may race to report).
+func (k *Kernel) setPanic(err error) {
+	k.panicMu.Lock()
+	if k.taskPanic == nil {
+		k.taskPanic = err
+	}
+	k.panicMu.Unlock()
+}
+
+func (k *Kernel) takePanic() error {
+	k.panicMu.Lock()
+	defer k.panicMu.Unlock()
+	return k.taskPanic
+}
+
+// ShardStat describes one shard's share of a completed run.
+type ShardStat struct {
+	// Cores is the number of simulated cores in the shard.
+	Cores int
+	// Steps is the number of scheduling steps the shard executed.
+	Steps int64
+	// Util is the shard's share of all scheduling steps — balanced shards
+	// approach 1/NumShards each.
+	Util float64
 }
 
 // Result summarizes a completed simulation.
@@ -363,260 +619,100 @@ type Result struct {
 	// (§VIII "preliminary study").
 	AvgRunnable float64
 	MaxRunnable int
+	// Shards is the number of execution domains the run used (1 on the
+	// sequential engine); PerShard breaks the scheduling work down per
+	// shard.
+	Shards   int
+	PerShard []ShardStat
 }
 
 // Run drives the simulation to quiescence: every injected task (and every
 // task transitively created) has finished. It returns an error on deadlock
 // or when a task panicked.
 func (k *Kernel) Run() (Result, error) {
-	for {
-		if k.taskPanic != nil {
-			return Result{}, k.taskPanic
-		}
-		if k.maxSteps > 0 && k.steps >= k.maxSteps {
-			return Result{}, fmt.Errorf("core: exceeded %d scheduling steps", k.maxSteps)
-		}
-		c := k.pickCore()
-		if c == nil {
-			if k.liveTasks == 0 {
-				return k.result(), nil
-			}
-			return Result{}, k.deadlockError()
-		}
-		k.step(c)
+	if k.sharded {
+		return k.runShard()
 	}
+	return k.runSeq()
+}
+
+func (k *Kernel) liveTasks() int64 {
+	var n int64
+	for _, d := range k.domains {
+		n += d.live
+	}
+	return n
 }
 
 func (k *Kernel) result() Result {
 	msgs, hops, bytes := k.net.Stats()
 	r := Result{
-		FinalVT:    k.maxTime,
-		Steps:      k.steps,
+		FinalVT:    k.MaxTime(),
+		Steps:      k.steps.Load(),
 		Messages:   msgs,
 		Hops:       hops,
 		Bytes:      bytes,
-		OutOfOrder: k.oooMsgs,
-		Handled:    k.handled,
+		OutOfOrder: k.oooMsgs.Load(),
+		Handled:    k.handled.Load(),
+		Shards:     len(k.domains),
 	}
 	for _, c := range k.cores {
 		r.Stalls += c.stats.Stalls
 		r.Instructions += c.stats.Instructions
 	}
-	if k.runnableSamples > 0 {
-		r.AvgRunnable = float64(k.runnableSum) / float64(k.runnableSamples)
+	var rSum, rSamples int64
+	for _, d := range k.domains {
+		rSum += d.runnableSum
+		rSamples += d.runnableSamples
+		if d.runnableMax > r.MaxRunnable {
+			r.MaxRunnable = d.runnableMax
+		}
 	}
-	r.MaxRunnable = k.runnableMax
+	if rSamples > 0 {
+		r.AvgRunnable = float64(rSum) / float64(rSamples)
+	}
+	r.PerShard = make([]ShardStat, len(k.domains))
+	for i, d := range k.domains {
+		r.PerShard[i] = ShardStat{Cores: len(d.cores), Steps: d.stepsTotal}
+		if r.Steps > 0 {
+			r.PerShard[i].Util = float64(d.stepsTotal) / float64(r.Steps)
+		}
+	}
 	return r
 }
 
-// runnable reports whether core c can be scheduled now, and the virtual
-// time key used to prioritize it.
-func (k *Kernel) runnable(c *Core) (vtime.Time, bool) {
-	if c.current != nil {
-		// Stalled mid-task: runnable when the horizon has moved past the
-		// core's clock.
-		if c.vt <= k.policy.Horizon(c) {
-			return c.vt, true
-		}
-		return 0, false
-	}
-	if len(c.conts) == 0 && len(c.ready) == 0 {
-		return 0, false
-	}
-	// Picking a task may move the clock forward (to the task's stamp);
-	// starting is always allowed — the first block boundary enforces the
-	// drift.
-	key := c.vt
-	if c.idle {
-		key = vtime.Inf
-		if len(c.conts) > 0 {
-			key = c.conts[0].resume
-		}
-		for _, t := range c.ready {
-			if t.arrival < key {
-				key = t.arrival
-			}
-		}
-	}
-	return key, true
-}
-
-// pickCore selects the runnable core with the lowest virtual-time key
-// (deterministic; ties broken by core ID). It also samples how many cores
-// were simultaneously runnable — the quantity behind the paper's §VIII
-// observation that spatial synchronization leaves enough independently
-// simulatable cores to keep a multi-core host busy.
-func (k *Kernel) pickCore() *Core {
-	var best *Core
-	bestKey := vtime.Inf
-	runnable := 0
-	for _, c := range k.cores {
-		key, ok := k.runnable(c)
-		if !ok {
-			continue
-		}
-		runnable++
-		if best == nil || key < bestKey {
-			best = c
-			bestKey = key
-		}
-	}
-	if best != nil {
-		k.runnableSamples++
-		k.runnableSum += int64(runnable)
-		if runnable > k.runnableMax {
-			k.runnableMax = runnable
-		}
-	}
-	return best
-}
-
-// step schedules one task segment on core c.
-func (k *Kernel) step(c *Core) {
-	k.steps++
-	t := c.current
-	switch {
-	case t != nil:
-		// Resume the stalled task in place.
-	case len(c.conts) > 0:
-		t = c.conts[0]
-		c.conts = c.conts[1:]
-		// Context switch to a joining task resuming execution (§V).
-		c.vt = vtime.Max(c.vt, t.resume) + k.ctxSwitchCost
-		c.stats.Switches++
-		t.state = TaskRunning
-		c.current = t
-		k.emit(TraceTaskResume, c.vt, c.ID, t, 0)
-	default:
-		t = c.ready[0]
-		c.ready = c.ready[1:]
-		// Starting a task costs 10 cycles in addition to the transit time
-		// of the spawn message (§V).
-		c.vt = vtime.Max(c.vt, t.arrival) + k.taskStartCost
-		c.stats.TaskStarts++
-		t.state = TaskRunning
-		c.current = t
-		k.emit(TraceTaskStart, c.vt, c.ID, t, 0)
-		if k.onTaskStart != nil {
-			k.onTaskStart(c, t)
-		}
-	}
-	if c.idle {
-		c.idle = false
-		k.busyCores++
-	}
-	k.updateEff(c)
-
-	// Hand control to the task goroutine until it yields.
-	t.env.horizon = k.policy.Horizon(c)
-	if !t.started {
-		t.started = true
-		go t.main()
-	} else {
-		t.cont <- struct{}{}
-	}
-	y := <-k.yieldCh
-
-	switch y.kind {
-	case yieldDone:
-		t.state = TaskDone
-		t.endVT = c.vt
-		c.current = nil
-		k.liveTasks--
-		if c.vt > k.maxTime {
-			k.maxTime = c.vt
-		}
-		k.emit(TraceTaskEnd, c.vt, c.ID, t, 0)
-	case yieldBlocked:
-		t.state = TaskBlocked
-		k.blocked[t.ID] = t
-		c.current = nil
-		k.emit(TraceTaskBlock, c.vt, c.ID, t, 0)
-	case yieldStalled:
-		// c.current stays set; the task resumes in place later.
-		k.emit(TraceTaskStall, c.vt, c.ID, t, 0)
-	}
-	if c.current == nil && len(c.conts) == 0 && len(c.ready) == 0 {
-		c.idle = true
-		k.busyCores--
-	}
-	k.updateEff(c)
-}
-
-// updateEff recomputes c's advertised effective time and propagates shadow
-// updates through idle neighbors until a fixpoint, as idle cores relay
-// virtual-time updates in the paper (§II.A "Non-connected sets of active
-// cores").
-func (k *Kernel) updateEff(c *Core) {
-	if k.busyCores == 0 {
-		// No anchor: idle-only shadow chains have no fixpoint (each relay
-		// adds T), so everyone advertises Inf until a core wakes up.
-		for _, cc := range k.cores {
-			if cc.eff != vtime.Inf {
-				cc.eff = vtime.Inf
-				for _, nbID := range cc.neighbors {
-					nb := k.cores[nbID]
-					for j, nid := range nb.neighbors {
-						if nid == cc.ID {
-							nb.nbEff[j] = vtime.Inf
-							break
-						}
-					}
-				}
-			}
-		}
-		return
-	}
-	k.propQueue = k.propQueue[:0]
-	k.propQueue = append(k.propQueue, c.ID)
-	for len(k.propQueue) > 0 {
-		id := k.propQueue[0]
-		k.propQueue = k.propQueue[1:]
-		cc := k.cores[id]
-		var eff vtime.Time
-		if cc.idle {
-			eff = k.policy.IdleTime(cc)
-		} else {
-			eff = cc.vt
-		}
-		if eff == cc.eff {
-			continue
-		}
-		cc.eff = eff
-		for _, nbID := range cc.neighbors {
-			nb := k.cores[nbID]
-			// Update the proxy this neighbor keeps for cc.
-			for j, nid := range nb.neighbors {
-				if nid == cc.ID {
-					if nb.nbEff[j] != eff {
-						nb.nbEff[j] = eff
-						if nb.idle {
-							k.propQueue = append(k.propQueue, nbID)
-						}
-					}
-					break
-				}
-			}
-		}
-	}
-}
-
-// deadlockError reports the blocked tasks preventing progress.
+// deadlockError reports the blocked tasks preventing progress, aggregated
+// per shard so multi-shard deadlocks name every blocking core and task.
 func (k *Kernel) deadlockError() error {
 	var b strings.Builder
-	fmt.Fprintf(&b, "core: deadlock with %d live tasks; blocked:", k.liveTasks)
-	n := 0
-	for _, t := range k.blocked {
-		if n < 8 {
+	fmt.Fprintf(&b, "core: deadlock with %d live tasks", k.liveTasks())
+	total := 0
+	for _, d := range k.domains {
+		total += len(d.blocked)
+	}
+	if total == 0 {
+		b.WriteString("; blocked: none (stall cycle)")
+	}
+	for _, d := range k.domains {
+		if len(k.domains) > 1 {
+			fmt.Fprintf(&b, "\n shard %d (%d blocked):", d.id, len(d.blocked))
+		} else {
+			b.WriteString("; blocked:")
+		}
+		// Deterministic report order.
+		ids := make([]uint64, 0, len(d.blocked))
+		for id := range d.blocked {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for n, id := range ids {
+			if n == 8 {
+				fmt.Fprintf(&b, " (+%d more)", len(ids)-8)
+				break
+			}
+			t := d.blocked[id]
 			fmt.Fprintf(&b, " %q@core%d", t.Name, t.core.ID)
 		}
-		n++
-	}
-	if n > 8 {
-		fmt.Fprintf(&b, " (+%d more)", n-8)
-	}
-	if n == 0 {
-		b.WriteString(" none (stall cycle)")
 	}
 	for _, c := range k.cores {
 		if c.idle && len(c.ready) == 0 && len(c.conts) == 0 {
@@ -626,8 +722,8 @@ func (k *Kernel) deadlockError() error {
 		if c.current != nil {
 			cur = c.current.Name
 		}
-		fmt.Fprintf(&b, "\n  core%d vt=%v eff=%v horizon=%v cur=%s ready=%d conts=%d locks=%d minBirth=%v",
-			c.ID, c.vt, c.eff, k.policy.Horizon(c), cur, len(c.ready), len(c.conts), c.lockDepth, c.minBirth())
+		fmt.Fprintf(&b, "\n  core%d shard%d vt=%v eff=%v horizon=%v cur=%s ready=%d conts=%d locks=%d minBirth=%v",
+			c.ID, k.part[c.ID], c.vt, c.eff, k.policy.Horizon(c), cur, len(c.ready), len(c.conts), c.lockDepth, c.minBirth())
 	}
 	return fmt.Errorf("%s", b.String())
 }
@@ -646,7 +742,15 @@ func (k *Kernel) BusyMinVT() vtime.Time {
 }
 
 // MaxTime returns the latest task completion time seen so far.
-func (k *Kernel) MaxTime() vtime.Time { return k.maxTime }
+func (k *Kernel) MaxTime() vtime.Time {
+	var m vtime.Time
+	for _, d := range k.domains {
+		if d.maxTime > m {
+			m = d.maxTime
+		}
+	}
+	return m
+}
 
 // GlobalMinTime returns the minimum NextEventTime over all cores: the
 // earliest point in virtual time where anything can still happen. Global

@@ -24,6 +24,15 @@ type Policy interface {
 	IdleTime(c *Core) vtime.Time
 }
 
+// ShardLocalPolicy is implemented by policies whose Horizon and IdleTime
+// depend only on the core itself and its neighbor proxies — never on
+// global machine state. Only such policies can drive the sharded parallel
+// engine: a policy that does not implement the interface (or returns
+// false) forces the sequential engine regardless of Config.Shards.
+type ShardLocalPolicy interface {
+	ShardLocal() bool
+}
+
 // Spatial is the paper's spatial synchronization: a core may drift at most
 // T ahead of the slowest of its topological neighbors (and of the birth
 // stamps of tasks it has spawned that have not started yet). Idle cores
@@ -36,6 +45,10 @@ type Spatial struct {
 
 // Name implements Policy.
 func (s Spatial) Name() string { return "spatial" }
+
+// ShardLocal implements ShardLocalPolicy: spatial decisions consult only
+// neighbor proxies and local birth stamps.
+func (s Spatial) ShardLocal() bool { return true }
 
 // Horizon implements Policy.
 func (s Spatial) Horizon(c *Core) vtime.Time {

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"fmt"
+
+	"simany/internal/vtime"
+)
+
+// runSeq is the sequential engine: one scheduling loop over a single
+// domain containing every core. This is the original SiMany kernel loop —
+// Shards=1 (the default) reproduces it bit-for-bit.
+func (k *Kernel) runSeq() (Result, error) {
+	d := k.domains[0]
+	for {
+		if err := k.takePanic(); err != nil {
+			return Result{}, err
+		}
+		if k.maxSteps > 0 && k.steps.Load() >= k.maxSteps {
+			return Result{}, fmt.Errorf("core: exceeded %d scheduling steps", k.maxSteps)
+		}
+		c := d.pickCore(vtime.Inf)
+		if c == nil {
+			if d.live == 0 {
+				return k.result(), nil
+			}
+			return Result{}, k.deadlockError()
+		}
+		d.step(c)
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"simany/internal/vtime"
+)
+
+// The sharded engine runs the partitioned machine in rounds:
+//
+//  1. Round setup (single-threaded): find the globally minimal runnable
+//     virtual-time key and set the round limit = minKey + quantum.
+//  2. Round (parallel): every domain drives its own pickCore/step loop,
+//     scheduling only cores whose key does not exceed the limit. All
+//     horizons are capped at the limit, so no core outruns the frozen
+//     cross-shard proxies by more than the quantum. Cross-shard messages
+//     and state mutations are appended to the executing shard's outbox.
+//  3. Barrier (single-threaded): outboxes are merged, sorted by
+//     (stamp, src, idx) and applied — messages are routed and handled,
+//     deferred operations run. This order depends only on virtual time and
+//     topology, never on host scheduling, which is what makes the engine
+//     deterministic for a fixed shard count.
+//  4. Effective-time refresh (single-threaded): idle shadow times are
+//     recomputed globally so the next round starts from consistent
+//     proxies.
+//
+// Progress: the domain owning the minimal key always schedules at least
+// one step per round, and every step advances bounded virtual state, so
+// rounds terminate and the simulation advances.
+
+// shardStepBudget bounds the scheduling steps one domain may take per
+// round, per owned core. It is a deterministic backstop against
+// pathological rounds; the quantum is the primary round bound.
+const shardStepBudget = 64
+
+// runShard drives the sharded parallel engine.
+func (k *Kernel) runShard() (Result, error) {
+	for {
+		if err := k.takePanic(); err != nil {
+			return Result{}, err
+		}
+		if k.maxSteps > 0 && k.steps.Load() >= k.maxSteps {
+			return Result{}, fmt.Errorf("core: exceeded %d scheduling steps", k.maxSteps)
+		}
+		minKey := vtime.Inf
+		for _, d := range k.domains {
+			for _, c := range d.cores {
+				if key, ok := d.runnable(c); ok && key < minKey {
+					minKey = key
+				}
+			}
+		}
+		if minKey == vtime.Inf {
+			if k.liveTasks() == 0 {
+				return k.result(), nil
+			}
+			return Result{}, k.deadlockError()
+		}
+		limit := vtime.Inf
+		if minKey < vtime.Inf-k.quantum {
+			limit = minKey + k.quantum
+		}
+		k.runRound(limit)
+		k.drainBarrier()
+		k.refreshEff()
+	}
+}
+
+// runRound executes one bounded scheduling round on every domain,
+// fanning the domains out over the worker pool.
+func (k *Kernel) runRound(limit vtime.Time) {
+	for _, d := range k.domains {
+		d.limit = limit
+		d.roundSteps = 0
+	}
+	if k.workers <= 1 {
+		for _, d := range k.domains {
+			d.runLocal(limit)
+		}
+	} else {
+		var next atomic.Int32
+		var wg sync.WaitGroup
+		wg.Add(k.workers)
+		for w := 0; w < k.workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(k.domains) {
+						return
+					}
+					k.domains[i].runLocal(limit)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, d := range k.domains {
+		d.limit = vtime.Inf
+	}
+}
+
+// runLocal is one domain's share of a round: schedule local cores with
+// keys inside the round limit until none remain (or the step budget runs
+// out). Identical to the sequential loop, restricted to owned cores.
+func (d *domain) runLocal(limit vtime.Time) {
+	budget := shardStepBudget * len(d.cores)
+	for d.roundSteps < budget {
+		c := d.pickCore(limit)
+		if c == nil {
+			return
+		}
+		d.roundSteps++
+		d.step(c)
+		// Stop early once the global step cap is exceeded; the round loop
+		// turns this into the MaxSteps error. (Successful runs never reach
+		// the cap, so this early exit cannot perturb their results.)
+		if d.k.maxSteps > 0 && d.k.steps.Load() >= d.k.maxSteps {
+			return
+		}
+	}
+}
+
+// drainBarrier merges all shard outboxes and applies the deferred items in
+// deterministic (stamp, src, idx) order. Handlers run synchronously here
+// — any messages or operations they trigger apply immediately, exactly as
+// on the sequential engine.
+func (k *Kernel) drainBarrier() {
+	var items []deferredItem
+	for _, d := range k.domains {
+		items = append(items, d.outbox...)
+		d.outbox = d.outbox[:0]
+	}
+	if len(items) == 0 {
+		return
+	}
+	// (stamp, src, idx) is a total order: src fixes the producing outbox
+	// and idx is the unique append position within it.
+	sort.Slice(items, func(i, j int) bool {
+		a, b := &items[i], &items[j]
+		if a.stamp != b.stamp {
+			return a.stamp < b.stamp
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.idx < b.idx
+	})
+	k.inBarrier = true
+	for i := range items {
+		if items[i].isMsg {
+			k.sendNow(items[i].msg)
+		} else {
+			items[i].op()
+		}
+	}
+	k.inBarrier = false
+}
+
+// refreshEff rebuilds every core's advertised effective time and all
+// neighbor proxies from global state: busy cores anchor at their clocks,
+// idle cores relax downward from Inf through the policy's shadow-time rule
+// until the (unique) fixpoint. Running it single-threaded at each barrier
+// restores the cross-shard proxies that stayed frozen during the round.
+func (k *Kernel) refreshEff() {
+	busy := 0
+	for _, d := range k.domains {
+		busy += d.busy
+	}
+	if busy == 0 {
+		for _, c := range k.cores {
+			c.eff = vtime.Inf
+			for j := range c.nbEff {
+				c.nbEff[j] = vtime.Inf
+			}
+		}
+		return
+	}
+	for _, c := range k.cores {
+		if c.idle {
+			c.eff = vtime.Inf
+		} else {
+			c.eff = c.vt
+		}
+	}
+	for _, c := range k.cores {
+		for j, nbID := range c.neighbors {
+			c.nbEff[j] = k.cores[nbID].eff
+		}
+	}
+	// Downward-only relaxation: order-independent, so any worklist order
+	// yields the same fixpoint.
+	var queue []int
+	for _, c := range k.cores {
+		if c.idle {
+			queue = append(queue, c.ID)
+		}
+	}
+	for len(queue) > 0 {
+		c := k.cores[queue[0]]
+		queue = queue[1:]
+		e := k.policy.IdleTime(c)
+		if e >= c.eff {
+			continue
+		}
+		c.eff = e
+		for _, nbID := range c.neighbors {
+			nb := k.cores[nbID]
+			for j, nid := range nb.neighbors {
+				if nid == c.ID {
+					nb.nbEff[j] = e
+					break
+				}
+			}
+			if nb.idle {
+				queue = append(queue, nbID)
+			}
+		}
+	}
+}

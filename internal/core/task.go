@@ -219,7 +219,7 @@ func (e *Env) Yield() {
 // release point (§II.B "Locks and critical sections").
 func (e *Env) AcquireLockExempt() {
 	e.c.lockDepth++
-	e.horizon = e.k.policy.Horizon(e.c)
+	e.horizon = e.k.horizonFor(e.c)
 }
 
 // ReleaseLockExempt undoes AcquireLockExempt.
@@ -228,19 +228,19 @@ func (e *Env) ReleaseLockExempt() {
 		panic("core: lock depth underflow")
 	}
 	e.c.lockDepth--
-	e.horizon = e.k.policy.Horizon(e.c)
+	e.horizon = e.k.horizonFor(e.c)
 	e.checkHorizon()
 }
 
 // yield transfers control back to the kernel and waits to be resumed
 // (except for yieldDone, which ends the goroutine).
 func (e *Env) yield(kind yieldKind) {
-	e.k.yieldCh <- yieldInfo{kind: kind, task: e.t}
+	e.c.dom.yieldCh <- yieldInfo{kind: kind, task: e.t}
 	if kind == yieldDone {
 		return
 	}
 	<-e.t.cont
-	e.horizon = e.k.policy.Horizon(e.c)
+	e.horizon = e.k.horizonFor(e.c)
 }
 
 // main is the body of a task goroutine.
@@ -249,9 +249,9 @@ func (t *Task) main() {
 		if r := recover(); r != nil {
 			// Surface task panics to the kernel rather than killing the
 			// process silently from a background goroutine.
-			t.env.k.taskPanic = fmt.Errorf("task %q (id %d) panicked: %v\n%s",
-				t.Name, t.ID, r, debug.Stack())
-			t.env.k.yieldCh <- yieldInfo{kind: yieldDone, task: t}
+			t.env.k.setPanic(fmt.Errorf("task %q (id %d) panicked: %v\n%s",
+				t.Name, t.ID, r, debug.Stack()))
+			t.env.c.dom.yieldCh <- yieldInfo{kind: yieldDone, task: t}
 		}
 	}()
 	t.fn(t.env)

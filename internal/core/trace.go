@@ -73,5 +73,16 @@ func (k *Kernel) emit(kind TraceKind, vt vtime.Time, core int, t *Task, aux int6
 	k.tracer.Trace(ev)
 }
 
-// SetTracer installs (or removes, with nil) the event tracer.
-func (k *Kernel) SetTracer(t Tracer) { k.tracer = t }
+// SetTracer installs (or removes, with nil) the event tracer. Tracers
+// require a global event order, so installing one on a sharded kernel
+// demotes it to the sequential engine (the same gate Config.Tracer applies
+// at construction); this must happen before any task is placed.
+func (k *Kernel) SetTracer(t Tracer) {
+	k.tracer = t
+	if t != nil && k.sharded {
+		if k.liveTasks() > 0 {
+			panic("core: SetTracer on a sharded kernel with tasks already placed")
+		}
+		k.setupEngine(Config{Shards: 1, ShardQuantum: k.quantum})
+	}
+}

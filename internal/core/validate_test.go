@@ -43,12 +43,12 @@ func TestValidateDetectsCorruption(t *testing.T) {
 	}
 	// Repair and corrupt the busy counter instead.
 	k.cores[0].nbEff[0] = k.cores[k.cores[0].neighbors[0]].eff
-	k.busyCores = 3
+	k.domains[0].busy = 3
 	err = k.Validate()
 	if err == nil || !strings.Contains(err.Error(), "busy-core") {
 		t.Fatalf("counter corruption not detected: %v", err)
 	}
-	k.busyCores = 0
+	k.domains[0].busy = 0
 	// Corrupt the birth cache.
 	k.cores[1].births = map[uint64]vtime.Time{7: vtime.CyclesInt(5)}
 	// birthCache still Inf and not dirty -> mismatch.

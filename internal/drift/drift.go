@@ -119,6 +119,10 @@ func (Unbounded) Horizon(*core.Core) vtime.Time { return vtime.Inf }
 // IdleTime implements core.Policy.
 func (Unbounded) IdleTime(*core.Core) vtime.Time { return vtime.Inf }
 
+// ShardLocal implements core.ShardLocalPolicy: Unbounded consults no state
+// at all, so it can drive the sharded engine.
+func (Unbounded) ShardLocal() bool { return true }
+
 // LaxP2P approximates Graphite's LaxP2P: each time a core is about to run,
 // it checks its progress against a randomly chosen other core; if it is
 // more than Slack ahead of that referee it goes to sleep until the referee
@@ -140,8 +144,10 @@ func (p LaxP2P) Horizon(c *core.Core) vtime.Time {
 	if n == 1 {
 		return vtime.Inf
 	}
-	// Pick a random referee other than c (deterministic via kernel rng).
-	ref := k.Rand().Intn(n - 1)
+	// Pick a random referee other than c (deterministic via the core's own
+	// seeded rng, so the pick sequence does not depend on how other cores'
+	// horizon checks interleave).
+	ref := c.Rand().Intn(n - 1)
 	if ref >= c.ID {
 		ref++
 	}

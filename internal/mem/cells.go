@@ -8,6 +8,8 @@ package mem
 // duration of each access; this file provides the simulator-side store and
 // the lock/ownership bookkeeping the runtime drives.
 
+import "sync"
+
 // Link is a generalized pointer to a cell.
 type Link struct {
 	id uint64
@@ -23,6 +25,7 @@ func (l Link) ID() uint64 { return l.id }
 type Cell struct {
 	id    uint64
 	owner int // core currently holding the data
+	home  int // creating core; immutable, the cell's arbitration point
 	size  int // payload bytes (drives message sizes)
 	addr  uint64
 	data  any // the actual Go payload
@@ -36,6 +39,11 @@ type Cell struct {
 
 // Owner returns the core currently owning the cell data.
 func (c *Cell) Owner() int { return c.owner }
+
+// Home returns the core that created the cell. It never changes, so the
+// sharded runtime uses it as the cell's fixed arbitration point: all lock
+// and transfer decisions for the cell are made in the home core's shard.
+func (c *Cell) Home() int { return c.home }
 
 // Size returns the payload size in bytes.
 func (c *Cell) Size() int { return c.size }
@@ -98,11 +106,19 @@ func (c *Cell) PopWaiter() (any, bool) {
 // NumWaiters returns the number of deferred requests.
 func (c *Cell) NumWaiters() int { return len(c.waiters) }
 
-// CellStore is the global registry of cells for one simulation.
+// CellStore is the global registry of cells for one simulation. The
+// registry map is guarded by a read-write mutex (task bodies on different
+// shards create and resolve cells concurrently); the cells themselves are
+// protected by the runtime's home-shard arbitration, not by the store.
 type CellStore struct {
+	mu    sync.RWMutex
 	cells map[uint64]*Cell
 	next  uint64
 	alloc *Allocator
+
+	// arenas, when enabled, gives each creating core a private id range so
+	// cell ids and addresses are deterministic under parallel execution.
+	arenas map[int]uint64
 }
 
 // NewCellStore creates an empty store using alloc for simulated addresses.
@@ -110,25 +126,53 @@ func NewCellStore(alloc *Allocator) *CellStore {
 	return &CellStore{cells: make(map[uint64]*Cell), alloc: alloc}
 }
 
-// New creates a cell of size bytes owned by core, holding data, and
-// returns a link to it.
+// EnableArenas switches New to per-creator id and address arenas. The
+// sharded runtime enables it so that cells created concurrently on
+// different shards get ids and addresses that depend only on the creating
+// core's own allocation sequence. (The sequential engine keeps the
+// original global sequence for bit-for-bit compatibility.)
+func (s *CellStore) EnableArenas() {
+	s.mu.Lock()
+	s.arenas = make(map[int]uint64)
+	s.mu.Unlock()
+}
+
+// New creates a cell of size bytes owned (and homed) by core, holding
+// data, and returns a link to it.
 func (s *CellStore) New(owner int, size int, data any) Link {
-	s.next++
-	c := &Cell{
-		id:    s.next,
+	s.mu.Lock()
+	var id uint64
+	if s.arenas != nil {
+		s.arenas[owner]++
+		id = arenaStride*uint64(owner+1) + s.arenas[owner]
+	} else {
+		s.next++
+		id = s.next
+	}
+	var addr uint64
+	if s.arenas != nil {
+		addr = s.alloc.AllocCore(owner, int64(size))
+	} else {
+		addr = s.alloc.Alloc(int64(size))
+	}
+	s.cells[id] = &Cell{
+		id:    id,
 		owner: owner,
+		home:  owner,
 		size:  size,
-		addr:  s.alloc.Alloc(int64(size)),
+		addr:  addr,
 		data:  data,
 	}
-	s.cells[c.id] = c
-	return Link{id: c.id}
+	s.mu.Unlock()
+	return Link{id: id}
 }
 
 // Get resolves a link. It panics on the nil link or an unknown id, which
 // indicates a program bug.
 func (s *CellStore) Get(l Link) *Cell {
+	s.mu.RLock()
 	c, ok := s.cells[l.id]
+	s.mu.RUnlock()
 	if !ok {
 		panic("mem: dereference of invalid link")
 	}
@@ -136,4 +180,8 @@ func (s *CellStore) Get(l Link) *Cell {
 }
 
 // Len returns the number of cells.
-func (s *CellStore) Len() int { return len(s.cells) }
+func (s *CellStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.cells)
+}

@@ -15,6 +15,8 @@
 package mem
 
 import (
+	"sync"
+
 	"simany/internal/cache"
 	"simany/internal/core"
 	"simany/internal/network"
@@ -22,9 +24,19 @@ import (
 )
 
 // Allocator hands out simulated addresses. Address 0 is never returned.
+// It is safe for concurrent use; allocations made on behalf of a specific
+// core should go through AllocCore so the returned addresses stay
+// deterministic under the sharded execution engine.
 type Allocator struct {
+	mu   sync.Mutex
 	next uint64
+
+	arenas map[int]*uint64 // per-core bump pointers (AllocCore)
 }
+
+// arenaStride separates per-core address arenas; no simulated workload
+// comes near 2^40 bytes per core.
+const arenaStride = uint64(1) << 40
 
 // NewAllocator creates an allocator.
 func NewAllocator() *Allocator {
@@ -32,14 +44,43 @@ func NewAllocator() *Allocator {
 }
 
 // Alloc reserves size bytes aligned to a cache line and returns the base
-// address.
+// address. Concurrent callers receive disjoint ranges, but the assignment
+// order (and thus the addresses) depends on host scheduling — use
+// AllocCore from simulated task code.
 func (a *Allocator) Alloc(size int64) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if size <= 0 {
 		size = 1
 	}
 	base := a.next
 	lines := (uint64(size) + cache.DefaultLineSize - 1) / cache.DefaultLineSize
 	a.next += lines * cache.DefaultLineSize
+	return base
+}
+
+// AllocCore reserves size bytes in core's private address arena. Each
+// core's allocation sequence is deterministic regardless of how other
+// cores' allocations interleave, which keeps cache behaviour (and thus
+// timing) reproducible under parallel execution.
+func (a *Allocator) AllocCore(core int, size int64) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if size <= 0 {
+		size = 1
+	}
+	if a.arenas == nil {
+		a.arenas = make(map[int]*uint64)
+	}
+	p, ok := a.arenas[core]
+	if !ok {
+		base := arenaStride * uint64(core+1)
+		p = &base
+		a.arenas[core] = p
+	}
+	base := *p
+	lines := (uint64(size) + cache.DefaultLineSize - 1) / cache.DefaultLineSize
+	*p += lines * cache.DefaultLineSize
 	return base
 }
 
@@ -85,6 +126,12 @@ func (s *Shared) WithCoherence(net *network.Model) *Shared {
 }
 
 var _ core.MemSystem = (*Shared)(nil)
+
+// ShardSafe implements core.ShardSafeMem: without a coherence directory,
+// Access only touches the accessing core's private L1. The directory is
+// global mutable state, so coherence-mode runs stay on the sequential
+// engine.
+func (s *Shared) ShardSafe() bool { return s.Dir == nil }
 
 // Access implements core.MemSystem.
 func (s *Shared) Access(c *core.Core, base uint64, n int64, elem int, write bool, now vtime.Time) vtime.Time {
@@ -141,6 +188,10 @@ func NewDistributed() *Distributed {
 }
 
 var _ core.MemSystem = (*Distributed)(nil)
+
+// ShardSafe implements core.ShardSafeMem: accesses only touch the
+// accessing core's private L1 and L2.
+func (m *Distributed) ShardSafe() bool { return true }
 
 // Access implements core.MemSystem.
 func (m *Distributed) Access(c *core.Core, base uint64, n int64, elem int, write bool, now vtime.Time) vtime.Time {

@@ -14,6 +14,7 @@ package network
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"simany/internal/topology"
 	"simany/internal/vtime"
@@ -76,14 +77,22 @@ type Model struct {
 	nbBW   [][]int
 	nbFree [][]vtime.Time
 
-	lastArrival map[[2]int]vtime.Time // FIFO clamp per (src,dst)
+	// lastArrival[src][dst] is the FIFO clamp per (src,dst) pair. It is
+	// indexed by source so that under sharded execution each entry is only
+	// touched by the shard sending on behalf of src (or by the
+	// single-threaded barrier).
+	lastArrival []map[int]vtime.Time
 
-	seq uint64
+	// seq and the statistics are atomics: shards sending over disjoint
+	// intra-shard routes still share these totals. The counters are
+	// commutative sums, so their final values stay deterministic; only
+	// the per-message seq assignment depends on host scheduling (it is a
+	// tie-break aid, never part of a Result).
+	seq atomic.Uint64
 
-	// statistics
-	messages  int64
-	totalHops int64
-	bytes     int64
+	messages  atomic.Int64
+	totalHops atomic.Int64
+	bytes     atomic.Int64
 }
 
 // New builds a network model over a topology. It panics if the topology is
@@ -102,7 +111,7 @@ func New(t *topology.Topology, p Params) *Model {
 		nbLat:       make([][]vtime.Time, n),
 		nbBW:        make([][]int, n),
 		nbFree:      make([][]vtime.Time, n),
-		lastArrival: make(map[[2]int]vtime.Time),
+		lastArrival: make([]map[int]vtime.Time, n),
 	}
 	for node := 0; node < n; node++ {
 		nbs := t.Neighbors(node)
@@ -315,10 +324,9 @@ func (m *Model) chunks(size int) int64 {
 // message with Arrival, Hops and sequencing filled in. Sending to self
 // arrives immediately.
 func (m *Model) Send(msg Message) Message {
-	m.seq++
-	msg.seq = m.seq
-	m.messages++
-	m.bytes += int64(msg.Size)
+	msg.seq = m.seq.Add(1)
+	m.messages.Add(1)
+	m.bytes.Add(int64(msg.Size))
 	if msg.Src == msg.Dst {
 		msg.Arrival = msg.Stamp
 		return msg
@@ -344,13 +352,17 @@ func (m *Model) Send(msg Message) Message {
 		cur = m.topo.Neighbors(cur)[j]
 		msg.Hops++
 	}
-	m.totalHops += int64(msg.Hops)
+	m.totalHops.Add(int64(msg.Hops))
 	// FIFO guarantee per (src,dst): arrivals never reorder.
-	pair := [2]int{msg.Src, msg.Dst}
-	if last := m.lastArrival[pair]; t < last {
+	la := m.lastArrival[msg.Src]
+	if la == nil {
+		la = make(map[int]vtime.Time)
+		m.lastArrival[msg.Src] = la
+	}
+	if last := la[msg.Dst]; t < last {
 		t = last
 	}
-	m.lastArrival[pair] = t
+	la[msg.Dst] = t
 	msg.Arrival = t
 	return msg
 }
@@ -361,7 +373,30 @@ func (msg Message) Seq() uint64 { return msg.seq }
 
 // Stats reports cumulative message count, hop count and payload bytes.
 func (m *Model) Stats() (messages, hops, bytes int64) {
-	return m.messages, m.totalHops, m.bytes
+	return m.messages.Load(), m.totalHops.Load(), m.bytes.Load()
+}
+
+// RouteWithin reports whether the route from src to dst stays entirely
+// inside one part of the given node assignment (as produced by
+// topology.Partition). The sharded kernel uses it to decide which messages
+// can be routed synchronously without touching link state owned by another
+// shard.
+func (m *Model) RouteWithin(src, dst int, part []int) bool {
+	p := part[src]
+	if part[dst] != p {
+		return false
+	}
+	for cur := src; cur != dst; {
+		j := m.next[cur][dst]
+		if j < 0 {
+			panic(fmt.Sprintf("network: no route %d -> %d", src, dst))
+		}
+		cur = m.topo.Neighbors(cur)[j]
+		if part[cur] != p {
+			return false
+		}
+	}
+	return true
 }
 
 // Topology returns the underlying topology.

@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"simany/internal/cache"
 	"simany/internal/core"
 	"simany/internal/vtime"
 )
@@ -11,8 +12,18 @@ import (
 // per-task ordering matters for correctness (§II.B "Program execution
 // correctness") — and a core running a task that holds a lock is exempt
 // from spatial stalling so the deadlock scenario of Fig. 4 cannot occur.
+//
+// Under the sharded engine each lock is arbitrated at a home core derived
+// from its address (like a directory entry homed by address hash): holder
+// and waiter state are only mutated from the home core's shard or inside a
+// barrier. A task on a foreign shard defers its acquire/release decision to
+// the next barrier and blocks; grants wake it through the kernel's
+// cross-shard unblock path. The holder may still read l.holder afterwards:
+// while a task holds the lock no arbitration path writes it, and the grant
+// write is ordered before the wake-up by the barrier.
 type Lock struct {
 	addr    uint64
+	home    int    // arbitration core under sharded execution
 	holder  uint64 // task ID, 0 when free
 	waiters []*core.Task
 }
@@ -23,7 +34,11 @@ var LockHandoffCost = vtime.CyclesInt(10)
 
 // NewLock allocates a shared-memory lock.
 func (r *Runtime) NewLock() *Lock {
-	return &Lock{addr: r.alloc.Alloc(8)}
+	addr := r.alloc.Alloc(8)
+	return &Lock{
+		addr: addr,
+		home: int(addr/cache.DefaultLineSize) % r.k.NumCores(),
+	}
 }
 
 // AcquireLock takes the lock, blocking the task (and freeing its core)
@@ -31,14 +46,34 @@ func (r *Runtime) NewLock() *Lock {
 // word is charged through the memory system.
 func (r *Runtime) AcquireLock(e *core.Env, l *Lock) {
 	e.Write(l.addr, 1, 8)
-	if l.holder == 0 {
-		l.holder = e.Task().ID
+	me := e.CoreID()
+	t := e.Task()
+	if !r.k.Sharded() || r.k.SameShard(me, l.home) {
+		if l.holder == 0 {
+			l.holder = t.ID
+			e.AcquireLockExempt()
+			return
+		}
+		l.waiters = append(l.waiters, t)
+		e.Block()
+		if l.holder != t.ID {
+			panic("rt: lock grant mismatch")
+		}
 		e.AcquireLockExempt()
 		return
 	}
-	l.waiters = append(l.waiters, e.Task())
+	// Foreign shard: even the free/held test must happen in home context.
+	now := e.Now()
+	r.k.Defer(me, now, func() {
+		if l.holder == 0 {
+			l.holder = t.ID
+			r.k.Unblock(t, now) // runs at the barrier: safe for any shard
+			return
+		}
+		l.waiters = append(l.waiters, t)
+	})
 	e.Block()
-	if l.holder != e.Task().ID {
+	if l.holder != t.ID {
 		panic("rt: lock grant mismatch")
 	}
 	e.AcquireLockExempt()
@@ -51,6 +86,13 @@ func (r *Runtime) ReleaseLock(e *core.Env, l *Lock) {
 	}
 	e.Write(l.addr, 1, 8)
 	e.ReleaseLockExempt()
+	me := e.CoreID()
+	now := e.Now()
+	r.runAt(me, l.home, now, func() { r.handoff(l, me, now) })
+}
+
+// handoff passes the lock to the oldest waiter; home-shard context only.
+func (r *Runtime) handoff(l *Lock, releaser int, now vtime.Time) {
 	if len(l.waiters) == 0 {
 		l.holder = 0
 		return
@@ -58,16 +100,36 @@ func (r *Runtime) ReleaseLock(e *core.Env, l *Lock) {
 	next := l.waiters[0]
 	l.waiters = l.waiters[1:]
 	l.holder = next.ID
-	r.k.Unblock(next, e.Now()+LockHandoffCost)
+	r.k.UnblockFrom(releaser, next, now+LockHandoffCost)
 }
 
-// TryAcquireLock takes the lock if it is free, without blocking.
+// TryAcquireLock takes the lock if it is free, without blocking. On a
+// foreign shard the attempt costs a round trip to the next barrier: the
+// task blocks until the home-context decision is applied.
 func (r *Runtime) TryAcquireLock(e *core.Env, l *Lock) bool {
 	e.Write(l.addr, 1, 8)
-	if l.holder != 0 {
-		return false
+	me := e.CoreID()
+	t := e.Task()
+	if !r.k.Sharded() || r.k.SameShard(me, l.home) {
+		if l.holder != 0 {
+			return false
+		}
+		l.holder = t.ID
+		e.AcquireLockExempt()
+		return true
 	}
-	l.holder = e.Task().ID
-	e.AcquireLockExempt()
-	return true
+	now := e.Now()
+	var got bool // written at the barrier, read only after the wake-up
+	r.k.Defer(me, now, func() {
+		if l.holder == 0 {
+			l.holder = t.ID
+			got = true
+		}
+		r.k.Unblock(t, now)
+	})
+	e.Block()
+	if got {
+		e.AcquireLockExempt()
+	}
+	return got
 }

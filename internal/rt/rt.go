@@ -25,6 +25,8 @@
 package rt
 
 import (
+	"sync/atomic"
+
 	"simany/internal/core"
 	"simany/internal/mem"
 	"simany/internal/network"
@@ -84,7 +86,9 @@ func DefaultOptions() Options {
 	}
 }
 
-// Stats aggregates runtime counters.
+// Stats aggregates runtime counters. The fields are updated atomically:
+// they are commutative sums shared by all shard workers, so their final
+// values stay deterministic.
 type Stats struct {
 	Spawns     int64 // tasks shipped to another core
 	Probes     int64 // PROBE messages sent
@@ -170,6 +174,10 @@ func New(k *core.Kernel, alloc *mem.Allocator, opt Options) *Runtime {
 	for i := 0; i < n; i++ {
 		r.occ[i] = make(map[int]int, k.Topology().Degree(i))
 	}
+	if k.Sharded() {
+		// Deterministic cell ids/addresses for concurrent creators.
+		r.cells.EnableArenas()
+	}
 	k.Handle(KindProbe, r.onProbe)
 	k.Handle(KindProbeAck, r.onProbeReply)
 	k.Handle(KindProbeNack, r.onProbeReply)
@@ -187,11 +195,36 @@ func New(k *core.Kernel, alloc *mem.Allocator, opt Options) *Runtime {
 // Kernel returns the underlying kernel.
 func (r *Runtime) Kernel() *core.Kernel { return r.k }
 
+// runAt executes fn in the arbitration context of core home: immediately
+// when the calling core shares home's shard (or on the sequential engine),
+// deferred to the next barrier otherwise. It is the building block of the
+// runtime's home-based ownership protocols (groups, locks, cells): shared
+// object state is only ever mutated from its home shard or inside a
+// barrier, both of which are single-threaded with respect to that state.
+func (r *Runtime) runAt(me, home int, stamp vtime.Time, fn func()) {
+	if !r.k.Sharded() || r.k.SameShard(me, home) {
+		fn()
+		return
+	}
+	r.k.Defer(me, stamp, fn)
+}
+
 // Alloc returns the shared address allocator.
 func (r *Runtime) Alloc() *mem.Allocator { return r.alloc }
 
 // Stats returns a copy of the runtime counters.
-func (r *Runtime) Stats() Stats { return r.stats }
+func (r *Runtime) Stats() Stats {
+	return Stats{
+		Spawns:     atomic.LoadInt64(&r.stats.Spawns),
+		Probes:     atomic.LoadInt64(&r.stats.Probes),
+		Denied:     atomic.LoadInt64(&r.stats.Denied),
+		LocalRuns:  atomic.LoadInt64(&r.stats.LocalRuns),
+		Migrations: atomic.LoadInt64(&r.stats.Migrations),
+		DataReqs:   atomic.LoadInt64(&r.stats.DataReqs),
+		DataChases: atomic.LoadInt64(&r.stats.DataChases),
+		JoinWaits:  atomic.LoadInt64(&r.stats.JoinWaits),
+	}
+}
 
 // wrap decorates a task body with the runtime prologue/epilogue: a function
 // scope for the pessimistic L1 and the group bookkeeping at termination.
@@ -259,11 +292,11 @@ func (r *Runtime) SpawnOrRun(e *core.Env, g *Group, name string, argBytes int, f
 	if cand < 0 {
 		// Proxy check only: cheap, no traffic.
 		e.ComputeCycles(2)
-		r.stats.LocalRuns++
+		atomic.AddInt64(&r.stats.LocalRuns, 1)
 		r.runInline(e, fn)
 		return false
 	}
-	r.stats.Probes++
+	atomic.AddInt64(&r.stats.Probes, 1)
 	meta := metaOf(e.Task())
 	e.Send(cand, KindProbe, r.opt.ProbeSize, &probeMsg{requester: e.Task(), reqCore: me})
 	e.Block()
@@ -274,19 +307,22 @@ func (r *Runtime) SpawnOrRun(e *core.Env, g *Group, name string, argBytes int, f
 	}
 	r.occ[me][rep.from] = rep.queueLen
 	if !rep.ok {
-		r.stats.Denied++
-		r.stats.LocalRuns++
+		atomic.AddInt64(&r.stats.Denied, 1)
+		atomic.AddInt64(&r.stats.LocalRuns, 1)
 		r.runInline(e, fn)
 		return false
 	}
-	g.add(1)
-	child := r.k.NewTask(name, r.wrap(g, fn), &taskMeta{group: g})
 	birth := e.Now()
+	// The counter increment is enqueued before the TASK_SPAWN below with an
+	// earlier-or-equal stamp, so the home shard always applies it before the
+	// child can be placed (let alone terminate).
+	g.addFrom(me, birth, 1)
+	child := r.k.NewTask(name, r.wrap(g, fn), &taskMeta{group: g})
 	r.k.RegisterBirth(r.k.Core(me), child, birth)
 	r.occ[me][rep.from] = rep.queueLen + 1
 	e.Send(cand, KindTaskSpawn, r.opt.SpawnBaseSize+argBytes,
 		&spawnMsg{task: child, birthOwner: r.k.Core(me)})
-	r.stats.Spawns++
+	atomic.AddInt64(&r.stats.Spawns, 1)
 	return true
 }
 
@@ -346,7 +382,7 @@ func (r *Runtime) onTaskSpawn(k *core.Kernel, msg network.Message) {
 		}
 		if best >= 0 {
 			sm.hops++
-			r.stats.Migrations++
+			atomic.AddInt64(&r.stats.Migrations, 1)
 			k.SendAt(dst, best, KindTaskSpawn, msg.Size, sm,
 				msg.Arrival+r.opt.ProbeHandleCost)
 			return

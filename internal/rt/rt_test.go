@@ -180,7 +180,7 @@ func TestGroupSingleJoinerPanics(t *testing.T) {
 	_, r := newRT(2)
 	_, err := r.Run("root", func(e *core.Env) {
 		g := r.NewGroup()
-		g.add(1)
+		g.active = 1
 		g.waiting = true // simulate a second joiner already registered
 		r.Join(e, g)
 	})

@@ -1,0 +1,68 @@
+package topology
+
+// Partitioning for the sharded parallel execution engine (internal/core):
+// the topology is split into k contiguous regions of near-equal size, one
+// per host-side shard. Spatial synchronization makes core progress a purely
+// local decision, so the fewer edges cross shard boundaries, the more
+// simulation work proceeds without cross-shard coordination; the
+// partitioner therefore grows connected regions and reports the cut size so
+// callers can evaluate partition quality.
+
+// Partition assigns every core to one of k shards and returns the
+// assignment (len N, values in [0,k)). Shards are balanced to within one
+// core and consist of consecutive core IDs. All constructors in this
+// package lay cores out row-major, so consecutive ID ranges form connected
+// strips on meshes, tori and rings with a near-minimal cut (a 16×16 mesh in
+// 4 shards cuts 3 row boundaries = 48 of 480 edges). The assignment is
+// deterministic and independent of host scheduling.
+//
+// k is clamped to [1, N].
+func Partition(t *Topology, k int) []int {
+	n := t.N()
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	part := make([]int, n)
+	if k == 1 {
+		return part
+	}
+	// The first (n mod k) shards take one extra core.
+	v := 0
+	for s := 0; s < k; s++ {
+		size := n / k
+		if s < n%k {
+			size++
+		}
+		for i := 0; i < size; i++ {
+			part[v] = s
+			v++
+		}
+	}
+	return part
+}
+
+// CutEdges counts the undirected topology edges whose endpoints fall in
+// different parts of the given assignment.
+func CutEdges(t *Topology, part []int) int {
+	cut := 0
+	for v := 0; v < t.N(); v++ {
+		for _, nb := range t.Neighbors(v) {
+			if v < nb && part[v] != part[nb] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// PartSizes returns the number of cores in each part of the assignment.
+func PartSizes(part []int, k int) []int {
+	sizes := make([]int, k)
+	for _, p := range part {
+		sizes[p]++
+	}
+	return sizes
+}

@@ -1,0 +1,120 @@
+package topology
+
+import "testing"
+
+func TestPartitionBalanceAndCoverage(t *testing.T) {
+	for _, tc := range []struct {
+		topo *Topology
+		k    int
+	}{
+		{Mesh(16), 4},
+		{Mesh(256), 8},
+		{Ring(10, DefaultLatency, DefaultBandwidth), 3},
+		{Torus2D(8, 8, DefaultLatency, DefaultBandwidth), 5},
+		{Mesh(7), 16}, // k > N clamps to N
+	} {
+		k := tc.k
+		if k > tc.topo.N() {
+			k = tc.topo.N()
+		}
+		part := Partition(tc.topo, tc.k)
+		if len(part) != tc.topo.N() {
+			t.Fatalf("%s k=%d: len=%d want %d", tc.topo.Name(), tc.k, len(part), tc.topo.N())
+		}
+		sizes := PartSizes(part, k)
+		min, max := tc.topo.N(), 0
+		for s, sz := range sizes {
+			if sz == 0 {
+				t.Errorf("%s k=%d: shard %d empty", tc.topo.Name(), tc.k, s)
+			}
+			if sz < min {
+				min = sz
+			}
+			if sz > max {
+				max = sz
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("%s k=%d: imbalanced sizes %v", tc.topo.Name(), tc.k, sizes)
+		}
+		for v, p := range part {
+			if p < 0 || p >= k {
+				t.Fatalf("%s k=%d: core %d assigned to %d", tc.topo.Name(), tc.k, v, p)
+			}
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	m := Mesh(144)
+	a := Partition(m, 6)
+	b := Partition(m, 6)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic assignment at core %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Each shard of a connected topology must itself be connected: contiguity is
+// what keeps most neighbor effective-time updates shard-local.
+func TestPartitionContiguous(t *testing.T) {
+	topos := []*Topology{
+		Mesh(64),
+		Torus2D(8, 8, DefaultLatency, DefaultBandwidth),
+		Ring(32, DefaultLatency, DefaultBandwidth),
+	}
+	for _, topo := range topos {
+		for _, k := range []int{2, 4, 7} {
+			part := Partition(topo, k)
+			for s := 0; s < k; s++ {
+				var members []int
+				for v, p := range part {
+					if p == s {
+						members = append(members, v)
+					}
+				}
+				if len(members) == 0 {
+					continue
+				}
+				// BFS within the shard.
+				seen := map[int]bool{members[0]: true}
+				queue := []int{members[0]}
+				for len(queue) > 0 {
+					v := queue[0]
+					queue = queue[1:]
+					for _, nb := range topo.Neighbors(v) {
+						if part[nb] == s && !seen[nb] {
+							seen[nb] = true
+							queue = append(queue, nb)
+						}
+					}
+				}
+				if len(seen) != len(members) {
+					t.Errorf("%s k=%d: shard %d disconnected (%d of %d reachable)",
+						topo.Name(), k, s, len(seen), len(members))
+				}
+			}
+		}
+	}
+}
+
+// On a row-major mesh, BFS strip growth should produce a cut far below the
+// worst case (scattered assignment) and in the vicinity of horizontal strip
+// cuts: for a 16x16 mesh in 4 shards, strips cut 3*16=48 edges.
+func TestPartitionCutQualityMesh(t *testing.T) {
+	m := Mesh(256)
+	part := Partition(m, 4)
+	cut := CutEdges(m, part)
+	if cut > 96 { // 2x the ideal strip cut
+		t.Errorf("mesh256 k=4: cut=%d, want <= 96", cut)
+	}
+	// Round-robin scatter for comparison: must be strictly worse.
+	scatter := make([]int, m.N())
+	for i := range scatter {
+		scatter[i] = i % 4
+	}
+	if sc := CutEdges(m, scatter); cut >= sc {
+		t.Errorf("partition cut %d not better than scatter cut %d", cut, sc)
+	}
+}

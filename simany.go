@@ -29,6 +29,13 @@
 // shared or distributed memory, any synchronization policy) is selected
 // through the Machine fields; the experiment harness that regenerates the
 // paper's figures is exposed through NewHarness.
+//
+// Setting Machine.Shards > 1 runs the simulation on the sharded parallel
+// engine: the topology is split into contiguous partitions executed on
+// host worker threads (Machine.Workers) that synchronize at deterministic
+// virtual-time barriers. Results are fully determined by the (seed,
+// shards) pair — the worker count only changes wall-clock time. See
+// docs/parallel.md.
 package simany
 
 import (
