@@ -121,7 +121,9 @@ func execute(b bench.Benchmark, m config.Machine, mode bench.Mode, seed int64, s
 	var rec *trace.Recorder
 	if traceFile != "" || timeline {
 		rec = trace.NewRecorder(1_000_000)
-		k.SetTracer(rec)
+		if k.SetTracer(rec) {
+			fmt.Fprintln(os.Stderr, k.DemotionNotice())
+		}
 	}
 	root, finish := b.Program(r, mode)
 	simStart := time.Now()

@@ -1,0 +1,111 @@
+// Command simanylint runs SiMany's determinism and shard-safety analyzers
+// (internal/lint) over the repository. It is built purely on the standard
+// library's go/ast, go/parser and go/types — no external analysis
+// framework — and is wired into CI as a required step.
+//
+// Usage:
+//
+//	simanylint [-json] [-rules rule1,rule2] [packages...]
+//
+// Packages default to ./... relative to the enclosing module root.
+// Diagnostics print as file:line:col: rule: message; -json emits a
+// machine-readable array instead. Suppress a finding with a trailing (or
+// directly preceding) comment:
+//
+//	//lint:allow <rule>[,<rule>...] one-line justification
+//
+// Exit status: 0 when clean, 1 when unsuppressed diagnostics were found,
+// 2 when loading or type-checking failed. See docs/lint.md for the rule
+// catalogue.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"simany/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := flag.Bool("list", false, "list the available rules and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers()
+	if *rules != "" {
+		want := make(map[string]bool)
+		for _, r := range strings.Split(*rules, ",") {
+			want[strings.TrimSpace(r)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for r := range want {
+			fmt.Fprintf(os.Stderr, "simanylint: unknown rule %q (see -list)\n", r)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simanylint: %v\n", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simanylint: %v\n", err)
+		os.Exit(2)
+	}
+	prog, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simanylint: %v\n", err)
+		os.Exit(2)
+	}
+
+	rep := lint.Run(prog, analyzers)
+	diags := rep.Diagnostics()
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "simanylint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 || rep.Suppressed() > 0 {
+			fmt.Fprintf(os.Stderr, "simanylint: %d finding(s), %d suppressed, %d package(s)\n",
+				len(diags), rep.Suppressed(), len(prog.Pkgs))
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

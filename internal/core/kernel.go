@@ -144,6 +144,15 @@ type Kernel struct {
 	oooMsgs     atomic.Int64
 	handled     atomic.Int64
 
+	// bcheck, when non-nil, arms continuous barrier validation (see
+	// barriercheck.go). diam caches Topology.Diameter (-2 = not computed).
+	bcheck *barrierCheck
+	diam   int
+
+	// demotion records why a requested sharded configuration fell back to
+	// the sequential engine ("" = no demotion); see DemotionNotice.
+	demotion string
+
 	// onTaskStart, when set, runs right after a fresh task is popped from
 	// a core's queue (the task runtime broadcasts queue occupancy here).
 	onTaskStart func(c *Core, t *Task)
@@ -203,6 +212,7 @@ func New(cfg Config) *Kernel {
 		maxSteps:      cfg.MaxSteps,
 		lastHandled:   make([]vtime.Time, n),
 		tracer:        cfg.Tracer,
+		diam:          -2,
 	}
 	k.cores = make([]*Core, n)
 	for i := 0; i < n; i++ {
@@ -250,8 +260,11 @@ func (k *Kernel) setupEngine(cfg Config) {
 	if shards > n {
 		shards = n
 	}
-	if shards > 1 && !k.shardSafe(cfg) {
-		shards = 1
+	if shards > 1 {
+		if reason := k.shardUnsafeReason(cfg); reason != "" {
+			shards = 1
+			k.demotion = reason
+		}
 	}
 	k.sharded = shards > 1
 
@@ -294,22 +307,23 @@ func (k *Kernel) setupEngine(cfg Config) {
 	}
 }
 
-// shardSafe reports whether every component tolerates sharded execution:
-// the policy must make purely local decisions, the memory system must only
-// mutate core-owned state, and no tracer may demand a global event order.
-func (k *Kernel) shardSafe(cfg Config) bool {
+// shardUnsafeReason reports why the configuration cannot run sharded, or
+// "" when every component tolerates sharded execution: the policy must
+// make purely local decisions, the memory system must only mutate
+// core-owned state, and no tracer may demand a global event order.
+func (k *Kernel) shardUnsafeReason(cfg Config) string {
 	if cfg.Tracer != nil {
-		return false
+		return "a tracer requires a global event order"
 	}
 	p, ok := k.policy.(ShardLocalPolicy)
 	if !ok || !p.ShardLocal() {
-		return false
+		return fmt.Sprintf("policy %q does not make shard-local decisions", k.policy.Name())
 	}
 	m, ok := k.mem.(ShardSafeMem)
 	if !ok || !m.ShardSafe() {
-		return false
+		return "the memory system is not shard-safe"
 	}
-	return true
+	return ""
 }
 
 // buildPairLocal precomputes, for every (src,dst) pair, whether the
@@ -437,6 +451,8 @@ func (k *Kernel) SendAt(src, dst int, kind network.Kind, size int, payload any, 
 // receives the item. On the sequential engine (and inside a barrier) fn
 // runs immediately. Layers above the kernel use Defer to mutate state
 // owned by another shard without racing its worker.
+//
+//simany:arbiter
 func (k *Kernel) Defer(src int, stamp vtime.Time, fn func()) {
 	if !k.sharded || k.inBarrier {
 		fn()
@@ -537,6 +553,7 @@ func (k *Kernel) InjectTask(coreID int, name string, fn func(*Env), meta any, at
 // shard owning the task's core (or inside a barrier); cross-shard wakes go
 // through UnblockFrom.
 func (k *Kernel) Unblock(t *Task, at vtime.Time) {
+	//lint:allow rawvtime TraceEvent.Aux is a kind-discriminated raw int64 payload; TraceUnblock defines it as millicycles
 	k.emit(TraceUnblock, at, t.core.ID, t, int64(at))
 	switch t.state {
 	case TaskBlocked:

@@ -66,6 +66,11 @@ func (k *Kernel) runShard() (Result, error) {
 		k.runRound(limit)
 		k.drainBarrier()
 		k.refreshEff()
+		if k.bcheck != nil {
+			if err := k.barrierInvariants(); err != nil {
+				return Result{}, err
+			}
+		}
 	}
 }
 
@@ -128,6 +133,8 @@ func (d *domain) runLocal(limit vtime.Time) {
 // deterministic (stamp, src, idx) order. Handlers run synchronously here
 // — any messages or operations they trigger apply immediately, exactly as
 // on the sequential engine.
+//
+//simany:barrier
 func (k *Kernel) drainBarrier() {
 	var items []deferredItem
 	for _, d := range k.domains {
@@ -152,7 +159,12 @@ func (k *Kernel) drainBarrier() {
 	k.inBarrier = true
 	for i := range items {
 		if items[i].isMsg {
-			k.sendNow(items[i].msg)
+			// sendNow routes the message (computing Arrival) and handles
+			// it; validation sees the routed form.
+			routed := k.sendNow(items[i].msg)
+			if k.bcheck != nil {
+				k.bcheck.recordMsg(routed)
+			}
 		} else {
 			items[i].op()
 		}

@@ -76,13 +76,32 @@ func (k *Kernel) emit(kind TraceKind, vt vtime.Time, core int, t *Task, aux int6
 // SetTracer installs (or removes, with nil) the event tracer. Tracers
 // require a global event order, so installing one on a sharded kernel
 // demotes it to the sequential engine (the same gate Config.Tracer applies
-// at construction); this must happen before any task is placed.
-func (k *Kernel) SetTracer(t Tracer) {
+// at construction); this must happen before any task is placed. The
+// return value reports whether this call demoted the kernel — callers
+// that asked for shards should surface DemotionNotice to the user instead
+// of silently running sequentially.
+func (k *Kernel) SetTracer(t Tracer) (demoted bool) {
 	k.tracer = t
 	if t != nil && k.sharded {
 		if k.liveTasks() > 0 {
 			panic("core: SetTracer on a sharded kernel with tasks already placed")
 		}
 		k.setupEngine(Config{Shards: 1, ShardQuantum: k.quantum})
+		k.demotion = "a tracer installed via SetTracer requires a global event order"
+		return true
 	}
+	return false
+}
+
+// DemotionNotice returns a human-readable explanation when a requested
+// sharded configuration was demoted to the sequential engine (by an
+// unsafe component at construction, or by SetTracer), and "" when the
+// kernel runs as configured. Results are identical either way — demotion
+// costs parallel speedup, never correctness — which is why the engines
+// may substitute for each other silently at the result level.
+func (k *Kernel) DemotionNotice() string {
+	if k.demotion == "" {
+		return ""
+	}
+	return "core: sharded execution demoted to sequential: " + k.demotion
 }

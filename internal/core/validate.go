@@ -17,7 +17,9 @@ import (
 //   - the cached minimum birth stamp matches the birth map;
 //   - lock depths are non-negative;
 //   - task states are consistent with the queue each task sits in;
-//   - the busy-core counter matches the per-core idle flags.
+//   - the busy-core counter matches the per-core idle flags;
+//   - with EnableBarrierValidation armed: per-(src,dst) FIFO stamps at
+//     barrier merges and the global drift bound (barriercheck.go).
 func (k *Kernel) Validate() error {
 	busy := 0
 	for _, c := range k.cores {
@@ -80,6 +82,17 @@ func (k *Kernel) Validate() error {
 			if t.state != TaskBlocked {
 				return fmt.Errorf("blocked registry holds task %d in state %d", id, t.state)
 			}
+		}
+	}
+	// With barrier validation armed (EnableBarrierValidation), surface any
+	// FIFO violation recorded at a barrier merge and re-check the global
+	// drift bound with the caller's slack.
+	if k.bcheck != nil {
+		if err := k.bcheck.err; err != nil {
+			return err
+		}
+		if err := k.CheckDriftBound(k.bcheck.slack); err != nil {
+			return err
 		}
 	}
 	return nil

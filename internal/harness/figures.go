@@ -314,7 +314,7 @@ func (h *Harness) driftStudy() ([]*stats.Table, error) {
 					return nil, err
 				}
 				// Speedup variation == inverse virtual-time variation.
-				dSpeed = append(dSpeed, float64(base[n].VT)/float64(o.VT)-1)
+				dSpeed = append(dSpeed, vtime.Ratio(base[n].VT, o.VT)-1)
 				dWall = append(dWall, float64(o.Wall)/float64(base[n].Wall)-1)
 			}
 			label := fmt.Sprintf("%d", T.WholeCycles())
@@ -360,7 +360,7 @@ func (h *Harness) ablation() ([]*stats.Table, error) {
 			if i == 0 {
 				ref = o
 			}
-			dev := stats.RelErr(float64(o.VT), float64(ref.VT))
+			dev := stats.RelErr(o.VT.InCycles(), ref.VT.InCycles())
 			t.AddRow(name, pol.label, stats.FmtPct(dev),
 				fmt.Sprintf("%d", o.Result.Steps),
 				fmt.Sprintf("%d", o.Result.Stalls),
@@ -423,7 +423,7 @@ func (h *Harness) heteroScheduling() ([]*stats.Table, error) {
 			t.AddRow(name, fmt.Sprintf("%d", n),
 				fmt.Sprintf("%.0f", def.VT.InCycles()),
 				fmt.Sprintf("%.0f", aware.VT.InCycles()),
-				stats.FmtPct(float64(def.VT)/float64(aware.VT)-1))
+				stats.FmtPct(vtime.Ratio(def.VT, aware.VT)-1))
 		}
 	}
 	return []*stats.Table{t}, nil

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HomeShard enforces PR 1's home-shard arbitration discipline. Functions
+// carrying a //simany:homeshard annotation mutate state owned by a shared
+// object's home shard (rt group counters, lock waiter queues, cell
+// directories) and therefore may only run in home-shard context. The
+// analyzer verifies every call site is one of:
+//
+//   - another //simany:homeshard function (the context propagates),
+//   - a //simany:barrier function (barriers are single-threaded),
+//   - a closure passed directly to a //simany:arbiter function
+//     (Kernel.Defer / Runtime.runAt — the sanctioned routes into home
+//     context),
+//   - same-package test code (test files are not analyzed).
+//
+// Any other caller would mutate home-owned state from a foreign shard's
+// worker, racing the owner — the failure mode conservative determinism
+// must prevent rather than tolerate (contrast the rollback machinery of
+// optimistic PDES engines).
+var HomeShard = &Analyzer{
+	Name: "homeshard",
+	Doc:  "restrict //simany:homeshard functions to home-shard/barrier callers",
+	Run:  runHomeShard,
+}
+
+// annotation kinds recognized in function doc comments.
+const (
+	annotHomeShard = "homeshard"
+	annotBarrier   = "barrier"
+	annotArbiter   = "arbiter"
+)
+
+// Annotations lazily scans every loaded package for //simany:<kind>
+// function annotations and returns the object -> kind map.
+func (prog *Program) Annotations() map[types.Object]string {
+	if prog.annots != nil {
+		return prog.annots
+	}
+	prog.annots = make(map[types.Object]string)
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				kind := annotationOf(fd.Doc)
+				if kind == "" {
+					continue
+				}
+				if obj := p.Info.Defs[fd.Name]; obj != nil {
+					prog.annots[obj] = kind
+				}
+			}
+		}
+	}
+	return prog.annots
+}
+
+// annotationOf extracts the //simany: marker from a doc comment, "" if none.
+func annotationOf(doc *ast.CommentGroup) string {
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if rest, ok := strings.CutPrefix(text, "simany:"); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}
+
+func runHomeShard(prog *Program, p *Package, r *Reporter) {
+	annots := prog.Annotations()
+	if len(annots) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || annots[fn] != annotHomeShard {
+				return true
+			}
+			if homeContextOK(p, annots, stack) {
+				return true
+			}
+			r.Report(call.Pos(), "homeshard",
+				"call to home-shard function %s from non-home context: only //simany:homeshard or //simany:barrier functions, or closures passed to a //simany:arbiter (Kernel.Defer, Runtime.runAt), may call it",
+				fn.Name())
+			return true
+		})
+	}
+}
+
+// homeContextOK walks the enclosing-node stack (innermost last) looking for
+// a context that legitimizes a home-shard call.
+func homeContextOK(p *Package, annots map[types.Object]string, stack []ast.Node) bool {
+	// Skip the call expression itself.
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch enc := stack[i].(type) {
+		case *ast.FuncLit:
+			// A closure handed straight to an arbiter runs in home context
+			// (the arbiter defers it to the home shard or a barrier).
+			if i > 0 {
+				if parent, ok := stack[i-1].(*ast.CallExpr); ok {
+					fn := calleeFunc(p.Info, parent)
+					if fn != nil && annots[fn] == annotArbiter && argOf(parent, enc) {
+						return true
+					}
+				}
+			}
+			// Otherwise the closure is transparent: keep climbing — a
+			// helper closure defined inside an annotated function is part
+			// of its body.
+		case *ast.FuncDecl:
+			obj := p.Info.Defs[enc.Name]
+			kind := annots[obj]
+			return kind == annotHomeShard || kind == annotBarrier
+		}
+	}
+	return false
+}
+
+// argOf reports whether lit appears directly in call's argument list.
+func argOf(call *ast.CallExpr, lit *ast.FuncLit) bool {
+	for _, a := range call.Args {
+		if ast.Unparen(a) == lit {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,270 @@
+// Package lint is SiMany's static-analysis suite: a set of analyzers,
+// built purely on the standard library's go/ast, go/parser, go/token and
+// go/types, that turn the simulator's determinism and shard-safety
+// conventions into machine-checked rules.
+//
+// The conventions exist because the paper's headline guarantees only hold
+// for deterministic runs: spatial synchronization bounds drift by
+// diameter × T (§II.A) and per-(src,dst) FIFO delivery must hold no matter
+// how host threads are scheduled (§II.B). PR 1's sharded engine encodes
+// them as idioms — home-shard arbitration, per-core seeded RNGs,
+// (stamp, src, idx)-ordered barrier merges — and this package makes the
+// idioms enforceable in CI. See docs/lint.md for the rule catalogue.
+//
+// Diagnostics can be suppressed with a comment on the offending line or the
+// line directly above it:
+//
+//	//lint:allow rule1,rule2 one-line justification
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one lint rule. Run inspects a single package and reports
+// findings through the Reporter; Program gives access to every loaded
+// package for cross-package facts (annotations, callee declarations).
+type Analyzer struct {
+	// Name is the rule identifier used in diagnostics and //lint:allow.
+	Name string
+	// Doc is a one-line description shown by the driver.
+	Doc string
+	// Run analyzes one package.
+	Run func(prog *Program, p *Package, r *Reporter)
+}
+
+// Analyzers returns the full rule set in a fixed order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NoDeterminism,
+		MapOrder,
+		HomeShard,
+		RawVtime,
+		LockDiscipline,
+	}
+}
+
+// Diagnostic is one finding, addressable by file and line.
+type Diagnostic struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// String formats the diagnostic the way compilers do.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Msg)
+}
+
+// Reporter collects diagnostics and applies //lint:allow suppressions.
+type Reporter struct {
+	fset *token.FileSet
+	// allow maps file -> line -> set of suppressed rule names. A
+	// suppression comment covers its own line and the line below it, so it
+	// works both trailing a statement and standing above one.
+	allow      map[string]map[int]map[string]bool
+	diags      []Diagnostic
+	suppressed int
+}
+
+// NewReporter builds a reporter for packages positioned on fset.
+func NewReporter(fset *token.FileSet) *Reporter {
+	return &Reporter{fset: fset, allow: make(map[string]map[int]map[string]bool)}
+}
+
+// CollectAllows scans a file's comments for //lint:allow directives.
+func (r *Reporter) CollectAllows(f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "lint:allow") {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			pos := r.fset.Position(c.Pos())
+			for _, rule := range strings.Split(fields[0], ",") {
+				rule = strings.TrimSpace(rule)
+				if rule == "" {
+					continue
+				}
+				r.addAllow(pos.Filename, pos.Line, rule)
+				r.addAllow(pos.Filename, pos.Line+1, rule)
+			}
+		}
+	}
+}
+
+func (r *Reporter) addAllow(file string, line int, rule string) {
+	byLine := r.allow[file]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		r.allow[file] = byLine
+	}
+	rules := byLine[line]
+	if rules == nil {
+		rules = make(map[string]bool)
+		byLine[line] = rules
+	}
+	rules[rule] = true
+}
+
+// Report files a diagnostic at pos unless a suppression covers it.
+func (r *Reporter) Report(pos token.Pos, rule, format string, args ...any) {
+	p := r.fset.Position(pos)
+	if byLine := r.allow[p.Filename]; byLine != nil && byLine[p.Line][rule] {
+		r.suppressed++
+		return
+	}
+	r.diags = append(r.diags, Diagnostic{
+		File: p.Filename, Line: p.Line, Col: p.Column,
+		Rule: rule, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings sorted by position, then rule.
+func (r *Reporter) Diagnostics() []Diagnostic {
+	sort.Slice(r.diags, func(i, j int) bool {
+		a, b := r.diags[i], r.diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return r.diags
+}
+
+// Suppressed returns the number of findings silenced by //lint:allow.
+func (r *Reporter) Suppressed() int { return r.suppressed }
+
+// Run executes the given analyzers over every package of prog and returns
+// the reporter holding the results.
+func Run(prog *Program, analyzers []*Analyzer) *Reporter {
+	r := NewReporter(prog.Fset)
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			r.CollectAllows(f)
+		}
+	}
+	for _, p := range prog.Pkgs {
+		for _, a := range analyzers {
+			a.Run(prog, p, r)
+		}
+	}
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+
+// deterministicPkgs are the simulator packages where host entropy is
+// forbidden: everything they compute must depend only on (seed, config).
+var deterministicPkgs = []string{
+	"core", "rt", "mem", "network", "drift", "vtime", "topology",
+}
+
+// stateMutatorPkgs are the packages whose functions mutate simulator state
+// or emit messages; calling into them in map-iteration order is the bug
+// class that breaks (seed, shards) reproducibility.
+var stateMutatorPkgs = []string{"core", "rt", "network", "mem"}
+
+// isInternal reports whether p is the module package internal/<name> for
+// any of names.
+func (p *Package) isInternal(prog *Program, names ...string) bool {
+	for _, n := range names {
+		if p.Path == prog.Module+"/internal/"+n {
+			return true
+		}
+	}
+	return false
+}
+
+// internalPkgPath reports whether path is <module>/internal/<name> for any
+// of names.
+func internalPkgPath(prog *Program, path string, names ...string) bool {
+	for _, n := range names {
+		if path == prog.Module+"/internal/"+n {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgNameOf resolves a selector base identifier to an imported package, or
+// nil when the identifier is anything else (a variable, a type, ...).
+func pkgNameOf(info *types.Info, e ast.Expr) *types.PkgName {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return nil
+	}
+	return pn
+}
+
+// calleeFunc resolves the function or method a call expression invokes,
+// nil for builtins, type conversions and calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isVtimeTime reports whether t (after unaliasing) is the named type
+// <module>/internal/vtime.Time.
+func isVtimeTime(prog *Program, t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Time" && obj.Pkg() != nil &&
+		obj.Pkg().Path() == prog.Module+"/internal/vtime"
+}
+
+// inspectWithStack walks f like ast.Inspect but hands the visitor the stack
+// of ancestor nodes (innermost last, including n itself).
+func inspectWithStack(f *ast.File, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if !visit(n, stack) {
+			// ast.Inspect skips both the children and the closing nil call
+			// when the visitor returns false, so pop here.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}

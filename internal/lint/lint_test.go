@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadCorpus type-checks one testdata directory under a fake import path
+// (the analyzers gate on import paths, so the corpus can impersonate a
+// simulator package) and wraps it in a single-package Program.
+func loadCorpus(t *testing.T, dir, fakePath string) *Program {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.LoadDir(filepath.Join(root, "internal", "lint", "testdata", dir), fakePath)
+	if err != nil {
+		t.Fatalf("loading corpus %s: %v", dir, err)
+	}
+	return &Program{Module: l.module, Root: root, Fset: l.fset, Pkgs: []*Package{p}}
+}
+
+// wantLines scans a corpus file for "want:<rule>" markers and returns the
+// line numbers expected to carry at least one finding of that rule.
+func wantLines(t *testing.T, file, rule string) map[int]bool {
+	t.Helper()
+	f, err := os.Open(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	want := make(map[int]bool)
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		if strings.Contains(sc.Text(), "want:"+rule) {
+			want[line] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatalf("corpus %s has no want:%s markers", file, rule)
+	}
+	return want
+}
+
+// TestAnalyzerCorpora proves every analyzer fires exactly on its corpus's
+// marked lines: each want line yields at least one finding of the rule,
+// no finding lands on an unmarked line, and the corpus suppressions are
+// honored.
+func TestAnalyzerCorpora(t *testing.T) {
+	cases := []struct {
+		dir        string
+		fakePath   string
+		analyzer   *Analyzer
+		suppressed int
+	}{
+		{"nodeterminism", "simany/internal/core", NoDeterminism, 1},
+		{"maporder", "simany/internal/network", MapOrder, 0},
+		{"homeshard", "simany/internal/hs", HomeShard, 0},
+		{"rawvtime", "simany/internal/rvbad", RawVtime, 1},
+		{"lockdiscipline", "simany/internal/rt", LockDiscipline, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			prog := loadCorpus(t, tc.dir, tc.fakePath)
+			rep := Run(prog, []*Analyzer{tc.analyzer})
+			diags := rep.Diagnostics()
+
+			file := prog.Pkgs[0].Files[0]
+			filename := prog.Fset.Position(file.Pos()).Filename
+			want := wantLines(t, filename, tc.analyzer.Name)
+
+			got := make(map[int]bool)
+			for _, d := range diags {
+				if d.Rule != tc.analyzer.Name {
+					t.Errorf("unexpected rule %q in diagnostic %s", d.Rule, d)
+					continue
+				}
+				if !want[d.Line] {
+					t.Errorf("false positive: %s", d)
+				}
+				got[d.Line] = true
+			}
+			for line := range want {
+				if !got[line] {
+					t.Errorf("%s:%d: expected a %s finding, got none",
+						filepath.Base(filename), line, tc.analyzer.Name)
+				}
+			}
+			if rep.Suppressed() != tc.suppressed {
+				t.Errorf("suppressed = %d, want %d", rep.Suppressed(), tc.suppressed)
+			}
+		})
+	}
+}
+
+// TestRealTreeClean is the zero-false-positive guarantee: the full rule
+// set over the repository's real packages must report nothing (intentional
+// exceptions carry //lint:allow and count as suppressions, not findings).
+func TestRealTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := l.Load("./internal/...", "./cmd/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Run(prog, Analyzers())
+	for _, d := range rep.Diagnostics() {
+		t.Errorf("real tree: %s", d)
+	}
+	if len(prog.Pkgs) < 10 {
+		t.Errorf("only %d packages loaded; pattern expansion looks broken", len(prog.Pkgs))
+	}
+}
+
+// TestSuppressionScope pins the //lint:allow contract: the directive
+// covers its own line and the next, nothing further.
+func TestSuppressionScope(t *testing.T) {
+	prog := loadCorpus(t, "nodeterminism", "simany/internal/core")
+	rep := NewReporter(prog.Fset)
+	for _, f := range prog.Pkgs[0].Files {
+		rep.CollectAllows(f)
+	}
+	file := prog.Fset.Position(prog.Pkgs[0].Files[0].Pos()).Filename
+
+	// Find the directive's line in the corpus.
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirLine := 0
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, "//lint:allow nodeterminism") {
+			dirLine = i + 1
+			break
+		}
+	}
+	if dirLine == 0 {
+		t.Fatal("corpus lost its //lint:allow directive")
+	}
+	for line, covered := range map[int]bool{
+		dirLine - 1: false,
+		dirLine:     true,
+		dirLine + 1: true,
+		dirLine + 2: false,
+	} {
+		got := rep.allow[file][line]["nodeterminism"]
+		if got != covered {
+			t.Errorf("line %d (directive at %d): covered = %v, want %v",
+				line, dirLine, got, covered)
+		}
+	}
+
+	// A different rule on a covered line is still reported.
+	pos := prog.Pkgs[0].Files[0].Pos()
+	_ = pos
+	if rep.allow[file][dirLine]["maporder"] {
+		t.Error("suppression leaked to a rule the directive does not name")
+	}
+}
+
+// TestDiagnosticString pins the compiler-style output format the CI step
+// and editors rely on.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "a/b.go", Line: 7, Col: 3, Rule: "maporder", Msg: "boom"}
+	if got, want := d.String(), "a/b.go:7:3: maporder: boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if got := fmt.Sprint(d); got != d.String() {
+		t.Errorf("fmt.Sprint = %q", got)
+	}
+}

@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path the package was loaded under.
+	Path string
+	// Dir is the directory holding the sources.
+	Dir string
+	// Files are the parsed non-test sources, in file-name order.
+	Files []*ast.File
+	// Pkg and Info are the go/types results.
+	Pkg  *types.Package
+	Info *types.Info
+}
+
+// Program is a set of packages loaded together on one FileSet.
+type Program struct {
+	// Module is the module path from go.mod (e.g. "simany").
+	Module string
+	// Root is the module root directory.
+	Root string
+	// Fset positions every file of every package.
+	Fset *token.FileSet
+	// Pkgs are the loaded packages, in import-path order.
+	Pkgs []*Package
+
+	annots map[types.Object]string // lazily built //simany: annotations
+}
+
+// Loader loads module packages from source, resolving module-internal
+// imports recursively and everything else (the standard library) through
+// the go/importer source importer — no toolchain export data, no x/tools.
+type Loader struct {
+	fset    *token.FileSet
+	root    string
+	module  string
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader creates a loader for the module rooted at root (the directory
+// containing go.mod).
+func NewLoader(root string) (*Loader, error) {
+	module, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		root:    root,
+		module:  module,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath reads the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+// Import implements types.Importer: module paths load from source under the
+// module root, everything else goes to the standard-library source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.module), "/")
+		p, err := l.LoadDir(filepath.Join(l.root, rel), path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadDir parses and type-checks the non-test Go files of dir as the
+// package with the given import path. Results are cached per path.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
+			strings.HasSuffix(n, "_test.go") ||
+			strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, _ := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, typeErrs[0])
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Pkg: pkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// Load expands the patterns (import-path style, "./..." wildcards allowed,
+// relative to the module root) and returns a Program holding every matched
+// package. Directories named testdata, and those starting with "." or "_",
+// are skipped.
+func (l *Loader) Load(patterns ...string) (*Program, error) {
+	seen := make(map[string]bool)
+	var paths []string
+	for _, pat := range patterns {
+		dirs, err := l.expand(pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range dirs {
+			path := l.module
+			if d != "." {
+				path = l.module + "/" + filepath.ToSlash(d)
+			}
+			if !seen[path] {
+				seen[path] = true
+				paths = append(paths, path)
+			}
+		}
+	}
+	sort.Strings(paths)
+	prog := &Program{Module: l.module, Root: l.root, Fset: l.fset}
+	for _, path := range paths {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.module), "/")
+		if rel == "" {
+			rel = "."
+		}
+		p, err := l.LoadDir(filepath.Join(l.root, rel), path)
+		if err != nil {
+			return nil, err
+		}
+		prog.Pkgs = append(prog.Pkgs, p)
+	}
+	return prog, nil
+}
+
+// expand resolves one pattern to module-root-relative directories that
+// contain at least one non-test Go file.
+func (l *Loader) expand(pattern string) ([]string, error) {
+	pattern = filepath.ToSlash(pattern)
+	pattern = strings.TrimPrefix(pattern, "./")
+	if pattern == "" {
+		pattern = "."
+	}
+	recursive := false
+	if pattern == "..." {
+		pattern, recursive = ".", true
+	} else if rest, ok := strings.CutSuffix(pattern, "/..."); ok {
+		pattern, recursive = rest, true
+	}
+	base := filepath.Join(l.root, filepath.FromSlash(pattern))
+	if !recursive {
+		if !hasGoFiles(base) {
+			return nil, fmt.Errorf("lint: no Go files in %s", base)
+		}
+		return []string{pattern}, nil
+	}
+	var dirs []string
+	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (name == "testdata" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			rel, err := filepath.Rel(l.root, path)
+			if err != nil {
+				return err
+			}
+			dirs = append(dirs, filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains a non-test Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") &&
+			!strings.HasSuffix(n, "_test.go") &&
+			!strings.HasPrefix(n, ".") && !strings.HasPrefix(n, "_") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockDiscipline flags sync.Mutex/RWMutex/Map/Cond fields (and package-level
+// lock variables) added to the simulator packages outside the engine's
+// sanctioned set. Shared simulated-object state must be mutated through
+// home-shard arbitration (Kernel.Defer / Runtime.runAt) so the mutation
+// order depends only on virtual time — an ad-hoc lock makes the order
+// depend on host scheduling, which silently breaks the (seed, shards)
+// determinism contract even though the race detector stays quiet.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "flag unsanctioned host locks in simulator state",
+	Run:  runLockDiscipline,
+}
+
+// sanctionedLocks are the host locks the engine legitimately needs, as
+// "<pkg path suffix>.<Type>.<field>". They guard host-side registries that
+// are order-insensitive by construction, not simulated state:
+//
+//   - core.Kernel.panicMu: first-panic capture; workers race benignly.
+//   - mem.Allocator.mu: address handout; per-core arenas make the
+//     addresses order-independent.
+//   - mem.CellStore.mu: cell registry; per-creator id arenas make the ids
+//     order-independent.
+var sanctionedLocks = map[string]bool{
+	"core.Kernel.panicMu": true,
+	"mem.Allocator.mu":    true,
+	"mem.CellStore.mu":    true,
+}
+
+// hostLockType reports whether t is one of the sync lock types.
+func hostLockType(t types.Type) (string, bool) {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", false
+	}
+	switch obj.Name() {
+	case "Mutex", "RWMutex", "Map", "Cond":
+		return "sync." + obj.Name(), true
+	}
+	return "", false
+}
+
+func runLockDiscipline(prog *Program, p *Package, r *Reporter) {
+	if !p.isInternal(prog, deterministicPkgs...) {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch spec := spec.(type) {
+				case *ast.TypeSpec:
+					st, ok := spec.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					checkStructLocks(p, r, spec.Name.Name, st)
+				case *ast.ValueSpec:
+					for _, name := range spec.Names {
+						obj := p.Info.Defs[name]
+						if obj == nil || obj.Parent() != p.Pkg.Scope() {
+							continue
+						}
+						if lock, ok := hostLockType(obj.Type()); ok {
+							r.Report(name.Pos(), "lockdiscipline",
+								"package-level %s %q in simulator package %s: mutate shared state via home-shard arbitration, not host locking",
+								lock, name.Name, p.Pkg.Name())
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkStructLocks flags unsanctioned lock fields of one struct type.
+func checkStructLocks(p *Package, r *Reporter, typeName string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		t := p.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		lock, ok := hostLockType(t)
+		if !ok {
+			continue
+		}
+		names := field.Names
+		if len(names) == 0 {
+			// Embedded field: named after its type.
+			names = []*ast.Ident{{Name: lock, NamePos: field.Type.Pos()}}
+		}
+		for _, name := range names {
+			key := p.Pkg.Name() + "." + typeName + "." + name.Name
+			if sanctionedLocks[key] {
+				continue
+			}
+			r.Report(name.Pos(), "lockdiscipline",
+				"%s field %s.%s is outside the engine's sanctioned lock set: shared simulated state must be arbitrated by its home shard (Kernel.Defer / Runtime.runAt), not locked ad hoc",
+				lock, typeName, name.Name)
+		}
+	}
+}

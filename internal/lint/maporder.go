@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags range statements over maps whose body performs
+// order-sensitive effects: calling into the simulator-state packages
+// (core, rt, network, mem), appending to shared (non-local) slices, sending
+// on channels or launching goroutines. Go randomizes map iteration order,
+// so any such loop makes message emission and state mutation depend on the
+// per-process hash seed — exactly the bug class that breaks (seed, shards)
+// reproducibility and the deterministic (stamp, src, idx) barrier merge.
+// The sanctioned pattern is to collect the keys into a slice, sort it, and
+// iterate the slice (see Kernel.deadlockError); loops whose effects are
+// genuinely commutative can be suppressed with //lint:allow maporder.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-sensitive effects inside range-over-map loops",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(prog *Program, p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			checkMapBody(prog, p, r, rs)
+			return true
+		})
+	}
+}
+
+// checkMapBody reports the order-sensitive effects in a map-range body.
+// Function literals are included: closures created per iteration (deferred
+// operations, goroutine bodies) still execute work discovered in map order.
+func checkMapBody(prog *Program, p *Package, r *Reporter, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			r.Report(n.Pos(), "maporder",
+				"channel send inside range over map: delivery order follows the randomized iteration order")
+		case *ast.GoStmt:
+			r.Report(n.Pos(), "maporder",
+				"goroutine launched inside range over map: spawn order follows the randomized iteration order")
+		case *ast.CallExpr:
+			if fn := calleeFunc(p.Info, n); fn != nil && fn.Pkg() != nil &&
+				internalPkgPath(prog, fn.Pkg().Path(), stateMutatorPkgs...) {
+				r.Report(n.Pos(), "maporder",
+					"call to %s.%s inside range over map: simulator state would be touched in randomized iteration order; collect and sort the keys first",
+					fn.Pkg().Name(), fn.Name())
+				return true
+			}
+			// append(x.f, ...) or append(m[k], ...): growing a slice that
+			// outlives the loop in iteration order. Appends to loop-local
+			// identifiers (the collect-then-sort idiom) are fine.
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) > 0 {
+					if _, plain := ast.Unparen(n.Args[0]).(*ast.Ident); !plain {
+						r.Report(n.Pos(), "maporder",
+							"append to a shared slice inside range over map: element order follows the randomized iteration order; collect and sort the keys first")
+					}
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoDeterminism forbids host-entropy sources inside the simulator packages
+// (internal/{core,rt,mem,network,drift,vtime,topology}): wall-clock reads,
+// the global math/rand stream and process-identity calls all make results
+// depend on the host instead of (seed, config), which breaks the
+// reproducibility the sharded engine's determinism contract (§II.A–B) is
+// built on. Simulated code must draw randomness from Core.Rand() (the
+// per-core seeded stream) or from an explicitly seeded rand.New.
+var NoDeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc:  "forbid wall-clock, global math/rand and process entropy in simulator packages",
+	Run:  runNoDeterminism,
+}
+
+// nodetTime are the time package entry points that read the host clock.
+var nodetTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+// nodetRandAllowed are the math/rand names that stay deterministic because
+// they only construct explicitly seeded generators.
+var nodetRandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// nodetOS are the os package calls that leak host identity or environment
+// into simulation results.
+var nodetOS = map[string]bool{
+	"Getpid": true, "Getppid": true, "Getenv": true, "Environ": true,
+	"Hostname": true,
+}
+
+func runNoDeterminism(prog *Program, p *Package, r *Reporter) {
+	if !p.isInternal(prog, deterministicPkgs...) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn := pkgNameOf(p.Info, sel.X)
+			if pn == nil {
+				return true
+			}
+			// Referencing a type (rand.Rand, rand.Source) carries no
+			// entropy; only functions and variables do.
+			if _, isType := p.Info.Uses[sel.Sel].(*types.TypeName); isType {
+				return true
+			}
+			name := sel.Sel.Name
+			switch pn.Imported().Path() {
+			case "time":
+				if nodetTime[name] {
+					r.Report(sel.Pos(), "nodeterminism",
+						"time.%s reads the host clock in simulator package %s; virtual time must come from vtime/Core state",
+						name, p.Pkg.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !nodetRandAllowed[name] {
+					r.Report(sel.Pos(), "nodeterminism",
+						"global rand.%s is host-seeded; draw from Core.Rand() or an explicitly seeded rand.New so results depend only on (seed, shards)",
+						name)
+				}
+			case "os":
+				if nodetOS[name] {
+					r.Report(sel.Pos(), "nodeterminism",
+						"os.%s leaks host identity into simulator package %s; results must depend only on (seed, config)",
+						name, p.Pkg.Name())
+				}
+			}
+			return true
+		})
+	}
+}

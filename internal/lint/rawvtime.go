@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RawVtime flags conversions that strip the millicycle unit from
+// vtime.Time values outside package vtime itself. A raw int64 (or float)
+// carrying millicycles invites exactly the arithmetic bugs the fixed-point
+// representation exists to prevent — mixing cycles with millicycles, or
+// comparing against unscaled constants — and bypasses the Inf-aware
+// helpers (Scale, Min, Max, InCycles, WholeCycles). Code that genuinely
+// needs a raw field (e.g. a kind-discriminated trace payload) documents it
+// with //lint:allow rawvtime.
+var RawVtime = &Analyzer{
+	Name: "rawvtime",
+	Doc:  "flag vtime.Time -> raw numeric conversions outside internal/vtime",
+	Run:  runRawVtime,
+}
+
+func runRawVtime(prog *Program, p *Package, r *Reporter) {
+	if p.Path == prog.Module+"/internal/vtime" {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			// A conversion is a call whose Fun is a type expression.
+			tv, ok := p.Info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			dst, ok := types.Unalias(tv.Type).(*types.Basic)
+			if !ok || dst.Info()&(types.IsInteger|types.IsFloat) == 0 {
+				return true
+			}
+			src := p.Info.TypeOf(call.Args[0])
+			if src == nil || !isVtimeTime(prog, src) {
+				return true
+			}
+			r.Report(call.Pos(), "rawvtime",
+				"conversion of vtime.Time to %s drops the millicycle unit; keep values typed (vtime.Min/Max/Scale) or go through InCycles/WholeCycles",
+				dst.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,62 @@
+// Corpus for the homeshard analyzer: a self-contained model of the
+// runtime's arbitration annotations.
+package hs
+
+var state int
+
+// arbiter models Kernel.Defer / Runtime.runAt: it routes fn into the home
+// shard's context.
+//
+//simany:arbiter
+func arbiter(fn func()) { fn() }
+
+// applyEnd mutates home-owned state.
+//
+//simany:homeshard
+func applyEnd() { state++ }
+
+// applyMore chains home-shard context: calling another home-shard function
+// is legal.
+//
+//simany:homeshard
+func applyMore() {
+	applyEnd()
+}
+
+// drain models the barrier: single-threaded, so home calls are legal.
+//
+//simany:barrier
+func drain() {
+	applyEnd()
+}
+
+// viaArbiter is the sanctioned route from foreign context: a closure
+// handed directly to the arbiter.
+func viaArbiter() {
+	arbiter(func() { applyEnd() })
+}
+
+// helperClosure: a closure inside a home-shard function inherits its
+// context (closures are transparent unless they are arbiter arguments).
+//
+//simany:homeshard
+func helperClosure() {
+	do := func() { applyEnd() }
+	do()
+}
+
+func direct() {
+	applyEnd() // want:homeshard
+}
+
+func looseClosure() func() {
+	return func() {
+		applyMore() // want:homeshard
+	}
+}
+
+func notAnArbiterArg(run func(fn func())) {
+	run(func() {
+		applyEnd() // want:homeshard
+	})
+}

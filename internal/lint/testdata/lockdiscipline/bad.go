@@ -1,0 +1,29 @@
+// Corpus for the lockdiscipline analyzer. Loaded by the tests under the
+// fake import path simany/internal/rt so the simulator-package gate
+// applies (and the sanctioned set, which names core/mem fields only, does
+// not match anything here).
+package rt
+
+import "sync"
+
+type sched struct {
+	mu    sync.Mutex    // want:lockdiscipline
+	rw    *sync.RWMutex // want:lockdiscipline
+	byKey sync.Map      // want:lockdiscipline
+	count int
+}
+
+type embedded struct {
+	sync.Mutex // want:lockdiscipline
+	n          int
+}
+
+var tableMu sync.Mutex // want:lockdiscipline
+
+//lint:allow lockdiscipline corpus fixture: demonstrates suppression
+var quietMu sync.RWMutex
+
+// plain is clean: no lock state.
+type plain struct {
+	items []int
+}

@@ -1,0 +1,55 @@
+// Corpus for the maporder analyzer. Loaded by the tests under the fake
+// import path simany/internal/network so calls to this package's own
+// functions count as simulator-state calls.
+package network
+
+// Send stands in for a simulator-state mutator: the analyzer keys on the
+// declaring package path, not the body.
+func Send(dst int) {}
+
+type table struct {
+	rows map[int][]int
+}
+
+func broadcast(peers map[int]bool, ch chan int, tab *table) []int {
+	for p := range peers {
+		Send(p) // want:maporder
+	}
+	for p := range peers {
+		ch <- p // want:maporder
+	}
+	for p := range peers {
+		go drainOne(ch, p) // want:maporder
+	}
+	for p, ok := range peers {
+		if ok {
+			tab.rows[0] = append(tab.rows[0], p) // want:maporder
+		}
+	}
+	// The closure is created per iteration; the effect still happens in
+	// map order when the closures run.
+	for p := range peers {
+		defer func() { Send(p) }() // want:maporder
+	}
+	// Sanctioned collect-then-sort idiom: appending to a loop-local slice
+	// is clean — the caller sorts before acting.
+	var ids []int
+	for p := range peers {
+		ids = append(ids, p)
+	}
+	return ids
+}
+
+func drainOne(ch chan int, p int) {}
+
+// countOnly is clean: pure reads and commutative accumulation do not
+// depend on iteration order.
+func countOnly(peers map[int]bool) int {
+	n := 0
+	for _, ok := range peers {
+		if ok {
+			n++
+		}
+	}
+	return n
+}

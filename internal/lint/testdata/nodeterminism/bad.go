@@ -1,0 +1,42 @@
+// Corpus for the nodeterminism analyzer. Loaded by the tests under the
+// fake import path simany/internal/core so the restricted-package gate
+// applies. Marked lines must each produce a finding; every other line
+// must stay clean.
+package core
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func clock() int64 {
+	return time.Now().UnixNano() // want:nodeterminism
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want:nodeterminism
+}
+
+func roll() int {
+	return rand.Int() // want:nodeterminism
+}
+
+func shuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want:nodeterminism
+}
+
+// seeded is clean: constructing an explicitly seeded generator is the
+// sanctioned source of randomness, and rand.Rand is only a type here.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func host() (string, error) {
+	return os.Hostname() // want:nodeterminism
+}
+
+func pid() int {
+	//lint:allow nodeterminism corpus fixture: demonstrates suppression
+	return os.Getpid()
+}

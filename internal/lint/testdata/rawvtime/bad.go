@@ -1,0 +1,44 @@
+// Corpus for the rawvtime analyzer. Imports the real vtime package; the
+// fake import path simany/internal/rvbad keeps it outside the exempt
+// package.
+package rvbad
+
+import "simany/internal/vtime"
+
+func leak(t vtime.Time) int64 {
+	return int64(t) // want:rawvtime
+}
+
+func toFloat(t vtime.Time) float64 {
+	return float64(t) // want:rawvtime
+}
+
+func toUnsigned(t vtime.Time) uint64 {
+	return uint64(t) // want:rawvtime
+}
+
+// typedOK is clean: arithmetic on the typed representation keeps the unit.
+func typedOK(a, b vtime.Time) vtime.Time {
+	return vtime.Min(a+b, vtime.Inf)
+}
+
+// helpersOK is clean: the sanctioned accessors do the converting.
+func helpersOK(t vtime.Time) (float64, int64) {
+	return t.InCycles(), t.WholeCycles()
+}
+
+// intFromInt is clean: the source is already a plain integer.
+func intFromInt(n int) int64 {
+	return int64(n)
+}
+
+// construct is clean: converting *into* vtime.Time builds a value rather
+// than stripping a unit.
+func construct(n int64) vtime.Time {
+	return vtime.Time(n)
+}
+
+func allowed(t vtime.Time) int64 {
+	//lint:allow rawvtime corpus fixture: demonstrates suppression
+	return int64(t)
+}

@@ -342,6 +342,7 @@ func (m *Model) Send(msg Message) Message {
 		ser := vtime.Time(0)
 		if bw > 0 {
 			bytes := nChunks * int64(m.params.ChunkSize)
+			//lint:allow rawvtime fixed-point serialization: Cycle is the millicycles-per-cycle scale constant, not a timestamp
 			ser = vtime.Time(int64(vtime.Cycle) * bytes / int64(bw))
 		}
 		// Contention: wait for the link to be free, then occupy it for the
@@ -431,6 +432,7 @@ func (m *Model) MinLatency(src, dst, size int) vtime.Time {
 		ser := vtime.Time(0)
 		if bw > 0 {
 			bytes := nChunks * int64(m.params.ChunkSize)
+			//lint:allow rawvtime fixed-point serialization: Cycle is the millicycles-per-cycle scale constant, not a timestamp
 			ser = vtime.Time(int64(vtime.Cycle) * bytes / int64(bw))
 		}
 		t += ser + m.nbLat[cur][j] + m.params.RouterDelay

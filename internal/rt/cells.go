@@ -160,6 +160,8 @@ func (r *Runtime) acquireSharded(e *core.Env, cell *mem.Cell, l mem.Link) {
 }
 
 // arbitrateSharded decides a foreign-shard access request; in-barrier only.
+//
+//simany:homeshard
 func (r *Runtime) arbitrateSharded(cell *mem.Cell, l mem.Link, t *core.Task, reqCore int, now vtime.Time) {
 	if cell.Locked() {
 		cell.PushWaiter(&cellWaiter{task: t, core: reqCore})
@@ -177,6 +179,8 @@ func (r *Runtime) arbitrateSharded(cell *mem.Cell, l mem.Link, t *core.Task, req
 
 // grantNextSharded hands a just-unlocked cell to its oldest waiter;
 // home-shard context only.
+//
+//simany:homeshard
 func (r *Runtime) grantNextSharded(cell *mem.Cell, l mem.Link, holderCore int, now vtime.Time) {
 	w, ok := cell.PopWaiter()
 	if !ok {
@@ -197,6 +201,8 @@ func (r *Runtime) grantNextSharded(cell *mem.Cell, l mem.Link, holderCore int, n
 // requester wake-up) happen in to's DATA_RESPONSE handler. The request leg
 // the sequential protocol would send is approximated by the uncontended
 // network distance; the response leg is priced by the send itself.
+//
+//simany:homeshard
 func (r *Runtime) transferSharded(cell *mem.Cell, l mem.Link, from, to int, task *core.Task, at vtime.Time) {
 	r.k.Core(from).L2().Evict(cell.Addr(), int64(cell.Size()))
 	cell.SetOwner(to)

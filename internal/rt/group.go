@@ -52,6 +52,8 @@ func (g *Group) taskEnded(e *core.Env) {
 }
 
 // ended applies one member termination; home-shard context only.
+//
+//simany:homeshard
 func (g *Group) ended(coreID int, now vtime.Time) {
 	g.active--
 	if g.active < 0 {

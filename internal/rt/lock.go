@@ -92,6 +92,8 @@ func (r *Runtime) ReleaseLock(e *core.Env, l *Lock) {
 }
 
 // handoff passes the lock to the oldest waiter; home-shard context only.
+//
+//simany:homeshard
 func (r *Runtime) handoff(l *Lock, releaser int, now vtime.Time) {
 	if len(l.waiters) == 0 {
 		l.holder = 0

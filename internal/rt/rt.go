@@ -201,6 +201,8 @@ func (r *Runtime) Kernel() *core.Kernel { return r.k }
 // runtime's home-based ownership protocols (groups, locks, cells): shared
 // object state is only ever mutated from its home shard or inside a
 // barrier, both of which are single-threaded with respect to that state.
+//
+//simany:arbiter
 func (r *Runtime) runAt(me, home int, stamp vtime.Time, fn func()) {
 	if !r.k.Sharded() || r.k.SameShard(me, home) {
 		fn()

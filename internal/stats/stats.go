@@ -20,7 +20,7 @@ func Speedup(base, v vtime.Time) float64 {
 	if v <= 0 {
 		return math.Inf(1)
 	}
-	return float64(base) / float64(v)
+	return vtime.Ratio(base, v)
 }
 
 // GeoMean returns the geometric mean of xs (NaN for empty input, as there

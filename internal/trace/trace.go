@@ -125,7 +125,7 @@ func Utilization(events []core.TraceEvent, numCores int, endVT vtime.Time) []flo
 		return out
 	}
 	for i, b := range busy {
-		out[i] = float64(b) / float64(endVT)
+		out[i] = vtime.Ratio(b, endVT)
 		if out[i] > 1 {
 			out[i] = 1
 		}
@@ -148,7 +148,9 @@ func Timeline(w io.Writer, events []core.TraceEvent, numCores int, endVT vtime.T
 			if iv.core >= numCores {
 				continue
 			}
+			//lint:allow rawvtime proportional column index: the millicycle unit cancels in from*width/end
 			a := int(int64(iv.from) * int64(width) / int64(endVT))
+			//lint:allow rawvtime proportional column index: the millicycle unit cancels in to*width/end
 			b := int(int64(iv.to) * int64(width) / int64(endVT))
 			if b >= width {
 				b = width - 1

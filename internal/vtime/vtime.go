@@ -68,6 +68,15 @@ func (t Time) String() string {
 	return fmt.Sprintf("%.3fcy", t.InCycles())
 }
 
+// Ratio returns num/den as a dimensionless float. It is the sanctioned way
+// to compare two virtual times (speedups, utilizations, relative errors)
+// without stripping the millicycle unit at the call site: the unit cancels
+// inside the division. den == 0 yields ±Inf/NaN per IEEE-754, matching a
+// direct float division.
+func Ratio(num, den Time) float64 {
+	return float64(num) / float64(den)
+}
+
 // Min returns the smaller of a and b.
 func Min(a, b Time) Time {
 	if a < b {
