@@ -16,12 +16,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"simany/internal/bench"
 	"simany/internal/config"
 	"simany/internal/core"
+	"simany/internal/metrics"
 	"simany/internal/rt"
 	"simany/internal/trace"
 	"simany/internal/vtime"
@@ -48,8 +50,10 @@ func run(args []string) error {
 		workers   = fs.Int("workers", 0, "host threads driving the shards (0 = all CPUs, capped at -shards)")
 		scale     = fs.Float64("scale", 1, "dataset scale factor (≥1 approaches paper-sized inputs)")
 		verbose   = fs.Bool("v", false, "print runtime statistics")
-		traceFile = fs.String("trace", "", "write an event trace to this file")
+		traceFile = fs.String("trace", "", "write an event trace to this file (.json = Chrome/Perfetto trace_event format, otherwise text)")
 		timeline  = fs.Bool("timeline", false, "print an ASCII per-core activity timeline")
+		metricsF  = fs.String("metrics", "", "write the deterministic metrics snapshot to this file (\"-\" = stdout)")
+		pprofF    = fs.String("pprof", "", "write a host CPU profile of the simulation to this file")
 		machineF  = fs.String("machine", "", "load the architecture from a machine description file (overrides -cores/-style/-mem/-policy/-T)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -75,7 +79,10 @@ func run(args []string) error {
 		if m.Mem == config.DistributedMem {
 			mode = bench.Distributed
 		}
-		return execute(b, m, mode, *seed, *scale, *verbose, *traceFile, *timeline)
+		return execute(b, m, mode, *seed, *scale, runOpts{
+			verbose: *verbose, traceFile: *traceFile, timeline: *timeline,
+			metricsFile: *metricsF, pprofFile: *pprofF,
+		})
 	}
 	m = config.Machine{Cores: *cores, T: vtime.Cycles(*tCycles), Policy: *policy, Seed: *seed,
 		Shards: *shards, Workers: *workers}
@@ -104,30 +111,60 @@ func run(args []string) error {
 		return fmt.Errorf("unknown memory kind %q", *memKind)
 	}
 
-	return execute(b, m, mode, *seed, *scale, *verbose, *traceFile, *timeline)
+	return execute(b, m, mode, *seed, *scale, runOpts{
+		verbose: *verbose, traceFile: *traceFile, timeline: *timeline,
+		metricsFile: *metricsF, pprofFile: *pprofF,
+	})
+}
+
+// runOpts bundles the observability outputs of one run.
+type runOpts struct {
+	verbose     bool
+	traceFile   string
+	timeline    bool
+	metricsFile string
+	pprofFile   string
 }
 
 // execute generates the workload, runs the simulation and reports.
-func execute(b bench.Benchmark, m config.Machine, mode bench.Mode, seed int64, scale float64, verbose bool, traceFile string, timeline bool) error {
+func execute(b bench.Benchmark, m config.Machine, mode bench.Mode, seed int64, scale float64, opts runOpts) error {
+	verbose, traceFile, timeline := opts.verbose, opts.traceFile, opts.timeline
 	b.Generate(seed, scale)
 	nativeStart := time.Now()
 	want := b.RunNative()
 	nativeWall := time.Since(nativeStart)
 
+	if opts.metricsFile != "" {
+		m.Metrics = metrics.New()
+	}
 	k, r, err := m.Build()
 	if err != nil {
 		return err
 	}
+	if n := k.DemotionNotice(); n != "" {
+		fmt.Fprintln(os.Stderr, n)
+	}
 	var rec *trace.Recorder
 	if traceFile != "" || timeline {
 		rec = trace.NewRecorder(1_000_000)
-		if k.SetTracer(rec) {
-			fmt.Fprintln(os.Stderr, k.DemotionNotice())
+		k.SetTracer(rec)
+	}
+	if opts.pprofFile != "" {
+		f, err := os.Create(opts.pprofFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
 		}
 	}
 	root, finish := b.Program(r, mode)
 	simStart := time.Now()
 	res, err := r.Run(b.Name(), root)
+	if opts.pprofFile != "" {
+		pprof.StopCPUProfile()
+	}
 	if err != nil {
 		return err
 	}
@@ -162,10 +199,19 @@ func execute(b bench.Benchmark, m config.Machine, mode bench.Mode, seed int64, s
 		printBusiest(k, r)
 	}
 	if rec != nil {
+		if rec.Truncated() {
+			// A truncated trace is a valid prefix, but utilization and
+			// message counts only describe the retained window.
+			fmt.Fprintf(os.Stderr, "simany: trace truncated: %d events dropped beyond the %d-event limit; analyses cover the retained prefix only\n",
+				rec.Dropped(), rec.Limit)
+		}
 		if timeline {
 			fmt.Println()
 			if err := trace.Timeline(os.Stdout, rec.Events(), k.NumCores(), res.FinalVT, 72); err != nil {
 				return err
+			}
+			for _, a := range trace.Anomalies(rec.Events(), k.NumCores(), res.FinalVT) {
+				fmt.Fprintln(os.Stderr, "simany: trace anomaly:", a)
 			}
 		}
 		if traceFile != "" {
@@ -174,10 +220,29 @@ func execute(b bench.Benchmark, m config.Machine, mode bench.Mode, seed int64, s
 				return err
 			}
 			defer f.Close()
-			if err := rec.WriteText(f); err != nil {
+			if strings.HasSuffix(traceFile, ".json") {
+				err = trace.WriteChrome(f, rec.Events(), k.NumCores(), res.FinalVT)
+			} else {
+				err = rec.WriteText(f)
+			}
+			if err != nil {
 				return err
 			}
 			fmt.Printf("trace            %d events -> %s\n", len(rec.Events()), traceFile)
+		}
+	}
+	if opts.metricsFile != "" {
+		out := os.Stdout
+		if opts.metricsFile != "-" {
+			f, err := os.Create(opts.metricsFile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := m.Metrics.WriteText(out); err != nil {
+			return err
 		}
 	}
 	if !ok {

@@ -76,3 +76,43 @@ func TestRunMachineFile(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunShardedTraceMetricsChrome(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.txt")
+	err := run([]string{"-bench", "octree", "-cores", "8", "-scale", "0.1",
+		"-shards", "2", "-workers", "2",
+		"-trace", jsonPath, "-metrics", metricsPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"traceEvents"`) {
+		t.Error(".json trace is not in Chrome trace_event format")
+	}
+	mdata, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"net.msg.latency", "shard.barrier.count"} {
+		if !strings.Contains(string(mdata), want) {
+			t.Errorf("metrics output missing %q:\n%s", want, mdata)
+		}
+	}
+}
+
+func TestRunPprof(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "cpu.pprof")
+	if err := run([]string{"-bench", "octree", "-cores", "4", "-scale", "0.1",
+		"-pprof", p}); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+		t.Errorf("profile not written: %v", err)
+	}
+}

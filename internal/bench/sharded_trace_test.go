@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"simany/internal/core"
+	"simany/internal/mem"
+	"simany/internal/rt"
+	"simany/internal/topology"
+	"simany/internal/trace"
+	"simany/internal/vtime"
+)
+
+// tracedRunOn executes benchmark b on a 16-core mesh with the given shard
+// and worker counts, recording the full trace. want is the native checksum,
+// computed once up front (RunNative between simulated runs can perturb the
+// generated dataset).
+func tracedRunOn(t *testing.T, b Benchmark, shards, workers int, seed int64, want uint64) (*trace.Recorder, core.Result) {
+	t.Helper()
+	rec := trace.NewRecorder(0)
+	k := core.New(core.Config{
+		Topo:    topology.Mesh(16),
+		Policy:  core.Spatial{T: core.DefaultT},
+		Mem:     mem.NewShared(),
+		Seed:    seed,
+		Shards:  shards,
+		Workers: workers,
+		Tracer:  rec,
+	})
+	if shards > 1 && !k.Sharded() {
+		t.Fatalf("%s: expected the sharded engine", b.Name())
+	}
+	r := rt.New(k, nil, rt.DefaultOptions())
+	root, finish := b.Program(r, Shared)
+	res, err := r.Run(b.Name(), root)
+	if err != nil {
+		t.Fatalf("%s shards=%d workers=%d: %v", b.Name(), shards, workers, err)
+	}
+	if got := finish(); got != want {
+		t.Fatalf("%s shards=%d workers=%d: checksum %#x, native %#x",
+			b.Name(), shards, workers, got, want)
+	}
+	return rec, res
+}
+
+// traceShape summarizes the structural invariants every well-formed stream
+// must satisfy.
+type traceShape struct {
+	starts, ends, sends, handles int
+}
+
+// checkWellFormed verifies stream invariants (dense Seq, per-core VT
+// monotonicity of lifecycle events, balanced lifecycles, send/handle
+// conservation) and returns the shape. Monotonicity is checked only for
+// lifecycle events, which track the core's own clock; handle/unblock
+// events carry arrival and wake stamps that may run ahead of it.
+func checkWellFormed(t *testing.T, label string, events []core.TraceEvent) traceShape {
+	t.Helper()
+	var sh traceShape
+	lastVT := map[int]vtime.Time{}
+	for i, ev := range events {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("%s: event %d has Seq %d, not dense", label, i, ev.Seq)
+		}
+		switch ev.Kind {
+		case core.TraceTaskStart, core.TraceTaskResume, core.TraceTaskStall,
+			core.TraceTaskBlock, core.TraceTaskEnd:
+			if last, ok := lastVT[ev.Core]; ok && ev.VT < last {
+				t.Fatalf("%s: core %d event at %v after %v", label, ev.Core, ev.VT, last)
+			}
+			lastVT[ev.Core] = ev.VT
+		}
+		switch ev.Kind {
+		case core.TraceTaskStart:
+			sh.starts++
+		case core.TraceTaskEnd:
+			sh.ends++
+		case core.TraceSend:
+			sh.sends++
+		case core.TraceHandle:
+			sh.handles++
+		}
+	}
+	if sh.starts != sh.ends {
+		t.Errorf("%s: %d starts, %d ends", label, sh.starts, sh.ends)
+	}
+	if sh.sends != sh.handles {
+		t.Errorf("%s: %d sends, %d handles", label, sh.sends, sh.handles)
+	}
+	return sh
+}
+
+// TestShardedTraceEquivalence is the tentpole guarantee applied to every
+// bundled benchmark: for a fixed (seed, shards) pair the merged trace
+// stream is bitwise identical at every worker count, tracing does not
+// perturb the Result, and both the sharded and the sequential streams are
+// structurally well-formed. (The sharded stream is not expected to equal
+// the sequential one event-for-event: the shard count is part of the event
+// semantics — the round quantum and barrier-deferred cross-shard traffic
+// change contention timing. See docs/observability.md.)
+func TestShardedTraceEquivalence(t *testing.T) {
+	const seed = 42
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			b, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Generate(seed, 1)
+			want := b.RunNative()
+
+			seqRec, _ := tracedRunOn(t, b, 1, 1, seed, want)
+			checkWellFormed(t, "sequential", seqRec.Events())
+
+			baseRec, baseRes := tracedRunOn(t, b, 4, 1, seed, want)
+			base := baseRec.Events()
+			if len(base) == 0 {
+				t.Fatal("no events traced")
+			}
+			checkWellFormed(t, "sharded", base)
+			workerCounts := []int{2}
+			if !testing.Short() {
+				workerCounts = append(workerCounts, 8)
+			}
+			for _, w := range workerCounts {
+				rec, res := tracedRunOn(t, b, 4, w, seed, want)
+				if !reflect.DeepEqual(res, baseRes) {
+					t.Errorf("workers=%d: result diverged", w)
+				}
+				if !reflect.DeepEqual(rec.Events(), base) {
+					t.Fatalf("workers=%d: trace stream diverged (%d events vs %d)",
+						w, len(rec.Events()), len(base))
+				}
+			}
+		})
+	}
+}

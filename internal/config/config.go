@@ -14,6 +14,7 @@ import (
 	"simany/internal/cyclelevel"
 	"simany/internal/drift"
 	"simany/internal/mem"
+	"simany/internal/metrics"
 	"simany/internal/network"
 	"simany/internal/rt"
 	"simany/internal/topology"
@@ -110,6 +111,11 @@ type Machine struct {
 	// Workers is the number of host threads driving the shards (0 =
 	// GOMAXPROCS, capped at Shards). It never affects results.
 	Workers int
+	// Metrics, when non-nil, attaches a deterministic metrics registry:
+	// the kernel records its standard instruments (message latency, link
+	// contention, barrier stalls — see docs/observability.md) into it, and
+	// the drift-comparison policies record their drift-to-bound probes.
+	Metrics *metrics.Registry
 }
 
 // Default returns the paper's reference machine: a uniform shared-memory
@@ -170,6 +176,14 @@ func (m Machine) parsePolicy() (core.Policy, bool, error) {
 		}
 		return vtime.Cycles(v), nil
 	}
+	// When a metrics registry is attached, the drift-comparison policies
+	// record how close each horizon decision came to the scheme's bound.
+	probe := func() *metrics.Histogram {
+		if m.Metrics == nil {
+			return nil
+		}
+		return m.Metrics.Histogram("drift.probe", metrics.UnitTime, metrics.DefaultTimeBounds())
+	}
 	switch name {
 	case "", "spatial":
 		return core.Spatial{T: t}, false, nil
@@ -180,19 +194,19 @@ func (m Machine) parsePolicy() (core.Policy, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		return drift.GlobalQuantum{Q: q}, false, nil
+		return drift.GlobalQuantum{Q: q, Probe: probe()}, false, nil
 	case "slack", "bounded-slack":
 		w, err := argCycles(t)
 		if err != nil {
 			return nil, false, err
 		}
-		return drift.BoundedSlack{W: w}, false, nil
+		return drift.BoundedSlack{W: w, Probe: probe()}, false, nil
 	case "laxp2p":
 		s, err := argCycles(t)
 		if err != nil {
 			return nil, false, err
 		}
-		return drift.LaxP2P{Slack: s}, false, nil
+		return drift.LaxP2P{Slack: s, Probe: probe()}, false, nil
 	case "unbounded":
 		return drift.Unbounded{}, false, nil
 	default:
@@ -240,6 +254,7 @@ func (m Machine) Build() (*core.Kernel, *rt.Runtime, error) {
 		MaxSteps:  m.MaxSteps,
 		Shards:    m.Shards,
 		Workers:   m.Workers,
+		Metrics:   m.Metrics,
 	}
 	if isCycleLevel {
 		clCfg := cyclelevel.NewConfig(topo, m.Speeds(), m.Seed)

@@ -7,12 +7,13 @@ import (
 	"simany/internal/vtime"
 )
 
-// Barrier validation is the sharded engine's answer to ValidatingTracer:
-// installing a Tracer demotes the kernel to sequential execution (handlers
-// would otherwise fire concurrently), so a traced run can never exercise
-// the barrier machinery it is supposed to check. EnableBarrierValidation
-// instead hooks the two paper-level guarantees directly into the barrier,
-// which is single-threaded by construction:
+// Barrier validation hooks the two paper-level guarantees directly into
+// the barrier, which is single-threaded by construction. (Historically it
+// was the only way to check a sharded run — installing a Tracer used to
+// demote the kernel to sequential execution. Tracers are shard-safe now,
+// delivered at barriers from per-shard buffers, but these checks remain
+// the cheapest always-on validation because they never materialize an
+// event stream.) The invariants:
 //
 //   - per-(src,dst) FIFO: messages merged at barriers must carry
 //     non-decreasing emission stamps for each ordered core pair, and every

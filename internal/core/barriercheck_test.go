@@ -138,8 +138,9 @@ func TestCheckDriftBoundTrips(t *testing.T) {
 	}
 }
 
-// TestSetTracerDemotionNotice: demotion is explicit — SetTracer reports
-// it, DemotionNotice explains it, and a sequential kernel reports neither.
+// TestSetTracerDemotionNotice: installing a tracer no longer demotes the
+// sharded engine (per-shard buffers merge at barriers), while
+// construction-time demotion by an unsafe component is still explicit.
 func TestSetTracerDemotionNotice(t *testing.T) {
 	sh := New(Config{Topo: topology.Mesh(16), Policy: Spatial{T: DefaultT}, Seed: 1, Shards: 4})
 	if !sh.Sharded() {
@@ -148,14 +149,21 @@ func TestSetTracerDemotionNotice(t *testing.T) {
 	if sh.DemotionNotice() != "" {
 		t.Errorf("premature notice: %q", sh.DemotionNotice())
 	}
-	if !sh.SetTracer(countingTracer{}) {
-		t.Error("SetTracer on a sharded kernel did not report demotion")
+	if sh.SetTracer(countingTracer{}) {
+		t.Error("SetTracer demoted the sharded kernel")
 	}
-	if sh.Sharded() {
-		t.Error("kernel still sharded after tracer install")
+	if !sh.Sharded() {
+		t.Error("kernel lost sharding after tracer install")
 	}
-	if n := sh.DemotionNotice(); !strings.Contains(n, "tracer") {
-		t.Errorf("notice %q does not name the tracer", n)
+	if n := sh.DemotionNotice(); n != "" {
+		t.Errorf("tracer install produced notice %q", n)
+	}
+
+	// A tracer in the construction config keeps the kernel sharded too.
+	traced := New(Config{Topo: topology.Mesh(16), Policy: Spatial{T: DefaultT},
+		Seed: 1, Shards: 4, Tracer: countingTracer{}})
+	if !traced.Sharded() {
+		t.Fatal("tracer-equipped kernel came up demoted")
 	}
 
 	seq := New(Config{Topo: topology.Mesh(4), Policy: Spatial{T: DefaultT}, Seed: 1})
@@ -166,28 +174,27 @@ func TestSetTracerDemotionNotice(t *testing.T) {
 		t.Errorf("sequential kernel has notice %q", seq.DemotionNotice())
 	}
 
-	// Construction-time demotion (unsafe component) is reported too.
-	traced := New(Config{Topo: topology.Mesh(16), Policy: Spatial{T: DefaultT},
-		Seed: 1, Shards: 4, Tracer: countingTracer{}})
-	if traced.Sharded() {
-		t.Fatal("tracer-equipped kernel came up sharded")
+	// Construction-time demotion by an unsafe component remains explicit:
+	// a policy without shard-local decisions forces the sequential engine.
+	dem := New(Config{Topo: topology.Mesh(16), Policy: unboundedPolicy{},
+		Seed: 1, Shards: 4})
+	if dem.Sharded() {
+		t.Fatal("non-shard-local policy came up sharded")
 	}
-	if traced.DemotionNotice() == "" {
-		t.Error("construction-time demotion has no notice")
+	if n := dem.DemotionNotice(); !strings.Contains(n, "policy") {
+		t.Errorf("notice %q does not name the policy", n)
 	}
 }
 
-// TestDemotedRunMatchesSequential: a sharded kernel demoted by SetTracer
-// must produce exactly the Result a natively sequential kernel does.
+// TestDemotedRunMatchesSequential: a sharded configuration demoted at
+// construction (here: by a policy without shard-local decisions) must
+// produce exactly the Result a natively sequential kernel does.
 func TestDemotedRunMatchesSequential(t *testing.T) {
-	build := func(shards int, demote bool) *Kernel {
-		k := New(Config{Topo: topology.Mesh(16), Policy: Spatial{T: DefaultT},
+	build := func(shards int) *Kernel {
+		k := New(Config{Topo: topology.Mesh(16), Policy: unboundedPolicy{},
 			Seed: 23, Shards: shards})
-		if demote {
-			// Before any task is placed: SetTracer panics otherwise.
-			if !k.SetTracer(countingTracer{}) {
-				t.Fatal("expected demotion")
-			}
+		if k.Sharded() {
+			t.Fatal("non-shard-local policy came up sharded")
 		}
 		k.Handle(kindOneWay, func(k *Kernel, msg network.Message) {})
 		for c := 0; c < 16; c++ {
@@ -201,8 +208,11 @@ func TestDemotedRunMatchesSequential(t *testing.T) {
 		}
 		return k
 	}
-	demoted := build(4, true)
-	plain := build(1, false)
+	demoted := build(4)
+	if demoted.DemotionNotice() == "" {
+		t.Fatal("expected demotion")
+	}
+	plain := build(1)
 	got, err := demoted.Run()
 	if err != nil {
 		t.Fatal(err)

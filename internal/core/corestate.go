@@ -43,6 +43,12 @@ type Core struct {
 	birthCache vtime.Time            // min of births, Inf if none
 	birthDirty bool
 
+	// taskSeq numbers the tasks this core has spawned. Task IDs are
+	// allocated per spawning core (NewTask), so they are deterministic
+	// under sharded execution: each counter is only touched by the worker
+	// driving the core's shard, never by a racing interleaving.
+	taskSeq uint64
+
 	// Timing machinery.
 	timer *timing.BlockTimer
 	l1    *cache.Scoped

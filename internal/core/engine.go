@@ -49,6 +49,14 @@ type domain struct {
 	outbox     []deferredItem
 	roundSteps int
 	stepsTotal int64
+
+	// Per-shard trace buffer: events emitted while this domain executes
+	// (or, inside a barrier, events whose core this domain owns) are
+	// appended here lock-free and merged deterministically by
+	// Kernel.flushTrace at the next barrier. traceSeq is the per-shard
+	// emission order, the merge's tie-break within (VT, Core).
+	traceBuf []TraceEvent
+	traceSeq uint64
 }
 
 // deferredItem is one unit of cross-shard traffic: either an architectural

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"simany/internal/cache"
+	"simany/internal/metrics"
 	"simany/internal/network"
 	"simany/internal/timing"
 	"simany/internal/topology"
@@ -79,9 +80,17 @@ type Config struct {
 	// MaxSteps aborts runaway simulations (0 = no limit).
 	MaxSteps int64
 	// Tracer, when set, receives simulator trace events (see TraceEvent).
-	// Tracing implies a global observation order, so it forces the
-	// sequential engine.
+	// Tracing is shard-safe: on the sharded engine events are buffered per
+	// shard and merged deterministically at each virtual-time barrier, so a
+	// tracer never forces the sequential engine.
 	Tracer Tracer
+	// Metrics, when set, attaches a registry of deterministic simulator
+	// instruments (per-link contention waits, message latency, barrier
+	// stall time, drift spread; see docs/observability.md). The kernel
+	// widens the registry to one stripe per shard, so updates from
+	// concurrent shard workers stay lock-free and the merged snapshot is
+	// identical at every worker count.
+	Metrics *metrics.Registry
 
 	// Shards partitions the topology into contiguous regions, each driven
 	// by its own local scheduling loop with cross-shard traffic exchanged
@@ -90,8 +99,8 @@ type Config struct {
 	// Workers or host scheduling. Shards=1 (the default, also used when 0)
 	// reproduces the original sequential kernel bit-for-bit. Values above
 	// the core count are clamped. Sharding silently falls back to the
-	// sequential engine when the policy, the memory system, or an
-	// installed tracer is not shard-safe.
+	// sequential engine when the policy or the memory system is not
+	// shard-safe (tracers and metrics are shard-safe; see Tracer).
 	Shards int
 	// Workers is the number of host threads driving the shards
 	// (0 = runtime.NumCPU(), capped at Shards). Workers only adds host
@@ -132,7 +141,6 @@ type Kernel struct {
 	inBarrier bool
 	pairLocal []bool // n×n: route stays inside one shard (nil if not precomputed)
 
-	nextTask atomic.Uint64
 	steps    atomic.Int64
 	maxSteps int64
 
@@ -159,6 +167,13 @@ type Kernel struct {
 
 	tracer   Tracer
 	traceSeq uint64
+	// traceMerge is the scratch slice flushTrace reuses to merge the
+	// per-shard trace buffers at each barrier.
+	traceMerge []TraceEvent
+
+	// met, when non-nil, holds the kernel's standard instruments in the
+	// attached metrics registry (see metrics.go).
+	met *kernelMetrics
 }
 
 // splitmix64 is the SplitMix64 finalizer, used to decorrelate per-core
@@ -305,16 +320,18 @@ func (k *Kernel) setupEngine(cfg Config) {
 	if k.sharded {
 		k.buildPairLocal()
 	}
+	if cfg.Metrics != nil {
+		k.met = newKernelMetrics(cfg.Metrics, shards)
+		k.net.SetObserver(netObserver{k})
+	}
 }
 
 // shardUnsafeReason reports why the configuration cannot run sharded, or
 // "" when every component tolerates sharded execution: the policy must
-// make purely local decisions, the memory system must only mutate
-// core-owned state, and no tracer may demand a global event order.
+// make purely local decisions and the memory system must only mutate
+// core-owned state. Tracers are shard-safe (per-shard buffers merged at
+// barriers) and never gate the engine.
 func (k *Kernel) shardUnsafeReason(cfg Config) string {
-	if cfg.Tracer != nil {
-		return "a tracer requires a global event order"
-	}
 	p, ok := k.policy.(ShardLocalPolicy)
 	if !ok || !p.ShardLocal() {
 		return fmt.Sprintf("policy %q does not make shard-local decisions", k.policy.Name())
@@ -433,6 +450,11 @@ func (k *Kernel) sendNow(msg network.Message) network.Message {
 		k.emit(TraceSend, msg.Stamp, msg.Src, nil, int64(msg.Dst))
 		k.emit(TraceHandle, msg.Arrival, msg.Dst, nil, int64(msg.Src))
 	}
+	if k.met != nil {
+		// Striped by the source's shard: intra-shard deliveries run on the
+		// worker driving that shard, cross-shard ones in the barrier.
+		k.met.msgLatency.ObserveTime(k.part[msg.Src], msg.Arrival-msg.Stamp)
+	}
 	h(k, msg)
 	return msg
 }
@@ -461,13 +483,21 @@ func (k *Kernel) Defer(src int, stamp vtime.Time, fn func()) {
 	k.domains[k.part[src]].enqueueOp(src, stamp, fn)
 }
 
-// NewTask allocates a task executing fn. The task is not yet placed; use
-// PlaceTask (or InjectTask for simulation entry points). Task IDs are
-// unique but their numeric order is not meaningful under sharded
-// execution.
-func (k *Kernel) NewTask(name string, fn func(*Env), meta any) *Task {
+// NewTask allocates a task executing fn on behalf of spawner (the core in
+// whose shard context the caller runs — for setup-time creation, the core
+// the task will be placed on). The task is not yet placed; use PlaceTask
+// (or InjectTask for simulation entry points).
+//
+// IDs encode (per-spawner sequence, spawner): unique across cores, and —
+// because each per-core counter is only advanced from its own shard's
+// execution context — deterministic at every worker count, so task IDs in
+// trace streams are stable. Their numeric order is still not meaningful
+// under sharded execution.
+func (k *Kernel) NewTask(spawner int, name string, fn func(*Env), meta any) *Task {
+	c := k.cores[spawner]
+	c.taskSeq++
 	return &Task{
-		ID:   k.nextTask.Add(1),
+		ID:   c.taskSeq*uint64(len(k.cores)) + uint64(spawner) + 1,
 		Name: name,
 		Meta: meta,
 		fn:   fn,
@@ -542,7 +572,7 @@ func (k *Kernel) RegisterBirth(c *Core, spawned *Task, stamp vtime.Time) {
 
 // InjectTask creates and places a root task (simulation entry point).
 func (k *Kernel) InjectTask(coreID int, name string, fn func(*Env), meta any, at vtime.Time) *Task {
-	t := k.NewTask(name, fn, meta)
+	t := k.NewTask(coreID, name, fn, meta)
 	k.PlaceTask(t, coreID, at, nil)
 	return t
 }

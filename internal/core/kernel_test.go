@@ -504,7 +504,7 @@ func TestBirthTracking(t *testing.T) {
 	k.InjectTask(0, "parent", func(e *Env) {
 		e.ComputeCycles(50)
 		spawnVT := e.Now()
-		child := k.NewTask("child", func(ce *Env) {
+		child := k.NewTask(0, "child", func(ce *Env) {
 			childStart = ce.Now()
 			ce.ComputeCycles(10)
 		}, nil)

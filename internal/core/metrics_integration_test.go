@@ -1,0 +1,111 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"simany/internal/metrics"
+	"simany/internal/network"
+	"simany/internal/topology"
+)
+
+// meteredShardedRun executes the trace_merge_test messaging workload with a
+// metrics registry attached and returns its snapshot.
+func meteredShardedRun(t *testing.T, workers int) metrics.Snapshot {
+	t.Helper()
+	reg := metrics.New()
+	k := New(Config{Topo: topology.Mesh(16), Policy: Spatial{T: DefaultT},
+		Seed: 7, Shards: 4, Workers: workers, Metrics: reg})
+	if !k.Sharded() {
+		t.Fatal("expected sharded kernel")
+	}
+	if k.Metrics() != reg {
+		t.Fatal("Metrics() does not return the attached registry")
+	}
+	k.Handle(kindOneWay, func(k *Kernel, msg network.Message) {})
+	for c := 0; c < 16; c++ {
+		c := c
+		k.InjectTask(c, "w", func(e *Env) {
+			for i := 0; i < 25; i++ {
+				e.ComputeCycles(float64(10 + c%3))
+				e.Send((c+7)%16, kindOneWay, 16, nil)
+			}
+		}, nil, 0)
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return reg.Snapshot()
+}
+
+// TestKernelMetricsDeterministicAcrossWorkers: the full snapshot —
+// including per-shard breakdowns — must be bitwise identical at every
+// worker count.
+func TestKernelMetricsDeterministicAcrossWorkers(t *testing.T) {
+	base := meteredShardedRun(t, 1)
+	for _, w := range []int{2, 4} {
+		if got := meteredShardedRun(t, w); !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d: snapshot diverged:\n  got  %+v\n  want %+v", w, got, base)
+		}
+	}
+}
+
+// TestKernelMetricsPopulated: the standard instruments actually record.
+func TestKernelMetricsPopulated(t *testing.T) {
+	snap := meteredShardedRun(t, 2)
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	hists := map[string]int64{}
+	for _, h := range snap.Histograms {
+		hists[h.Name] = h.Count
+	}
+	if counters["shard.barrier.count"] == 0 {
+		t.Error("no barriers counted on a sharded run")
+	}
+	if hists["net.msg.latency"] == 0 {
+		t.Error("no message latencies observed")
+	}
+	if hists["shard.round.steps"] == 0 {
+		t.Error("no round step counts observed")
+	}
+	if hists["net.link.wait"] == 0 {
+		t.Error("no link contention observed (workload sends 400 messages over shared links)")
+	}
+	if _, ok := hists["drift.spread"]; !ok {
+		t.Error("drift.spread histogram missing")
+	}
+}
+
+// TestMetricsNilByDefault: without Config.Metrics the kernel records
+// nothing and Metrics() is nil.
+func TestMetricsNilByDefault(t *testing.T) {
+	k := New(Config{Topo: topology.Mesh(4), Policy: Spatial{T: DefaultT}, Seed: 1})
+	if k.Metrics() != nil {
+		t.Error("unconfigured kernel has a registry")
+	}
+}
+
+// TestMetricsOnSequentialEngine: the registry works on the sequential
+// engine too (single stripe, message latency still recorded).
+func TestMetricsOnSequentialEngine(t *testing.T) {
+	reg := metrics.New()
+	k := New(Config{Topo: topology.Mesh(4), Policy: Spatial{T: DefaultT},
+		Seed: 3, Metrics: reg})
+	k.Handle(kindOneWay, func(k *Kernel, msg network.Message) {})
+	k.InjectTask(0, "w", func(e *Env) {
+		for i := 0; i < 10; i++ {
+			e.ComputeCycles(5)
+			e.Send(3, kindOneWay, 16, nil)
+		}
+	}, nil, 0)
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range reg.Snapshot().Histograms {
+		if h.Name == "net.msg.latency" && h.Count == 0 {
+			t.Error("sequential engine recorded no message latencies")
+		}
+	}
+}

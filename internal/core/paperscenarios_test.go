@@ -117,7 +117,7 @@ func TestFig3SpawnBirthDrift(t *testing.T) {
 	k.InjectTask(0, "spawner", func(e *Env) {
 		e.ComputeCycles(10) // reach vt = 20 (10 start + 10 compute)
 		birth := e.Now()
-		child := k.NewTask("child", func(*Env) {}, nil)
+		child := k.NewTask(0, "child", func(*Env) {}, nil)
 		k.RegisterBirth(k.Core(0), child, birth)
 		horizonDuring = k.Policy().Horizon(k.Core(0))
 		if horizonDuring != birth+T {

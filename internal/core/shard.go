@@ -36,13 +36,17 @@ import (
 // pathological rounds; the quantum is the primary round bound.
 const shardStepBudget = 64
 
-// runShard drives the sharded parallel engine.
+// runShard drives the sharded parallel engine. Trace buffers are flushed
+// (merged and handed to the tracer) at every barrier and on every exit
+// path, so a Recorder sees the complete stream even when the run aborts.
 func (k *Kernel) runShard() (Result, error) {
 	for {
 		if err := k.takePanic(); err != nil {
+			k.flushTrace()
 			return Result{}, err
 		}
 		if k.maxSteps > 0 && k.steps.Load() >= k.maxSteps {
+			k.flushTrace()
 			return Result{}, fmt.Errorf("core: exceeded %d scheduling steps", k.maxSteps)
 		}
 		minKey := vtime.Inf
@@ -66,6 +70,10 @@ func (k *Kernel) runShard() (Result, error) {
 		k.runRound(limit)
 		k.drainBarrier()
 		k.refreshEff()
+		if k.met != nil {
+			k.recordBarrier(minKey, limit)
+		}
+		k.flushTrace()
 		if k.bcheck != nil {
 			if err := k.barrierInvariants(); err != nil {
 				return Result{}, err

@@ -1,6 +1,10 @@
 package core
 
-import "simany/internal/vtime"
+import (
+	"sort"
+
+	"simany/internal/vtime"
+)
 
 // TraceKind classifies simulator trace events.
 type TraceKind uint8
@@ -40,7 +44,14 @@ func (k TraceKind) String() string {
 }
 
 // TraceEvent is one record of simulator activity. VT is the core's virtual
-// time at the event; Seq is the wall-clock (simulation) order.
+// time at the event; Seq is the order in which the tracer observed the
+// event. On the sequential engine that is the simulation order; on the
+// sharded engine events are buffered per shard and delivered at each
+// virtual-time barrier in merged (VT, Core, per-shard order) order, with
+// Seq renumbered globally over the merged stream. Either way Seq is
+// strictly increasing and dense, and for a fixed (seed, shards)
+// configuration the full stream is bitwise identical at every worker
+// count.
 type TraceEvent struct {
 	Seq    uint64
 	Kind   TraceKind
@@ -60,45 +71,105 @@ type Tracer interface {
 }
 
 // emit records a trace event if tracing is enabled.
+//
+// On the sequential engine the event goes straight to the tracer with a
+// global sequence number. On the sharded engine it is appended, lock-free,
+// to the buffer of the shard owning the event's core: every emit site runs
+// either on the worker currently driving that shard (lifecycle events and
+// intra-shard deliveries never cross the partition) or inside the
+// single-threaded barrier, so no two host threads ever touch one buffer
+// concurrently. Buffers are merged and handed to the tracer at the next
+// barrier (flushTrace).
 func (k *Kernel) emit(kind TraceKind, vt vtime.Time, core int, t *Task, aux int64) {
 	if k.tracer == nil {
 		return
 	}
-	k.traceSeq++
-	ev := TraceEvent{Seq: k.traceSeq, Kind: kind, VT: vt, Core: core, Aux: aux}
+	ev := TraceEvent{Kind: kind, VT: vt, Core: core, Aux: aux}
 	if t != nil {
 		ev.TaskID = t.ID
 		ev.Task = t.Name
 	}
+	if k.sharded {
+		d := k.cores[core].dom
+		d.traceSeq++
+		ev.Seq = d.traceSeq
+		d.traceBuf = append(d.traceBuf, ev)
+		return
+	}
+	k.traceSeq++
+	ev.Seq = k.traceSeq
 	k.tracer.Trace(ev)
 }
 
-// SetTracer installs (or removes, with nil) the event tracer. Tracers
-// require a global event order, so installing one on a sharded kernel
-// demotes it to the sequential engine (the same gate Config.Tracer applies
-// at construction); this must happen before any task is placed. The
-// return value reports whether this call demoted the kernel — callers
-// that asked for shards should surface DemotionNotice to the user instead
-// of silently running sequentially.
+// flushTrace merges the per-shard trace buffers accumulated since the
+// previous barrier and delivers them to the tracer in deterministic
+// (VT, Core, per-shard Seq) order, renumbering Seq globally. Each shard's
+// buffer content is fixed by the round semantics (never by host
+// scheduling), and the sort key is a total order — Core determines the
+// producing shard and the per-shard Seq is unique within it — so the
+// delivered stream is bitwise identical at every worker count. The tracer
+// callback runs single-threaded, between rounds, which is also what makes
+// ValidatingTracer safe on the sharded engine.
+//
+// Within one barrier epoch events are VT-sorted; across epochs VT can
+// step back by at most the round quantum (a later round may revisit
+// earlier virtual time on other cores), which is the same bounded
+// out-of-order window the engine's drift bound allows.
+//
+//simany:barrier
+func (k *Kernel) flushTrace() {
+	if k.tracer == nil || !k.sharded {
+		return
+	}
+	n := 0
+	for _, d := range k.domains {
+		n += len(d.traceBuf)
+	}
+	if n == 0 {
+		return
+	}
+	merged := k.traceMerge[:0]
+	for _, d := range k.domains {
+		merged = append(merged, d.traceBuf...)
+		d.traceBuf = d.traceBuf[:0]
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		a, b := &merged[i], &merged[j]
+		if a.VT != b.VT {
+			return a.VT < b.VT
+		}
+		if a.Core != b.Core {
+			return a.Core < b.Core
+		}
+		return a.Seq < b.Seq
+	})
+	for i := range merged {
+		k.traceSeq++
+		merged[i].Seq = k.traceSeq
+		k.tracer.Trace(merged[i])
+	}
+	k.traceMerge = merged[:0]
+}
+
+// SetTracer installs (or removes, with nil) the event tracer. Tracing no
+// longer costs the parallel engine anything but the buffer appends: on a
+// sharded kernel events are collected per shard and merged
+// deterministically at each virtual-time barrier, so SetTracer never
+// demotes and always returns false. The boolean return is kept so older
+// callers that surfaced DemotionNotice on demotion keep compiling; only
+// construction-time component checks (policy, memory system) demote now.
+// Install the tracer before Run to capture the full stream.
 func (k *Kernel) SetTracer(t Tracer) (demoted bool) {
 	k.tracer = t
-	if t != nil && k.sharded {
-		if k.liveTasks() > 0 {
-			panic("core: SetTracer on a sharded kernel with tasks already placed")
-		}
-		k.setupEngine(Config{Shards: 1, ShardQuantum: k.quantum})
-		k.demotion = "a tracer installed via SetTracer requires a global event order"
-		return true
-	}
 	return false
 }
 
 // DemotionNotice returns a human-readable explanation when a requested
-// sharded configuration was demoted to the sequential engine (by an
-// unsafe component at construction, or by SetTracer), and "" when the
-// kernel runs as configured. Results are identical either way — demotion
-// costs parallel speedup, never correctness — which is why the engines
-// may substitute for each other silently at the result level.
+// sharded configuration was demoted to the sequential engine by an
+// unsafe component at construction, and "" when the kernel runs as
+// configured. Results are identical either way — demotion costs parallel
+// speedup, never correctness — which is why the engines may substitute
+// for each other silently at the result level.
 func (k *Kernel) DemotionNotice() string {
 	if k.demotion == "" {
 		return ""

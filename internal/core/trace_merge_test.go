@@ -1,0 +1,152 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"simany/internal/network"
+	"simany/internal/topology"
+	"simany/internal/vtime"
+)
+
+// sliceTracer retains every delivered event, in order.
+type sliceTracer struct {
+	events []TraceEvent
+}
+
+func (s *sliceTracer) Trace(ev TraceEvent) { s.events = append(s.events, ev) }
+
+// tracedShardedRun executes a messaging workload on a 16-core mesh split
+// into 4 shards, with a tracer installed (tr may be nil), and returns the
+// Result.
+func tracedShardedRun(t *testing.T, workers int, tr Tracer) Result {
+	t.Helper()
+	k := New(Config{Topo: topology.Mesh(16), Policy: Spatial{T: DefaultT},
+		Seed: 7, Shards: 4, Workers: workers})
+	if !k.Sharded() {
+		t.Fatal("expected sharded kernel")
+	}
+	if tr != nil {
+		k.SetTracer(tr)
+	}
+	k.Handle(kindOneWay, func(k *Kernel, msg network.Message) {})
+	for c := 0; c < 16; c++ {
+		c := c
+		k.InjectTask(c, "w", func(e *Env) {
+			for i := 0; i < 25; i++ {
+				e.ComputeCycles(float64(10 + c%3))
+				e.Send((c+7)%16, kindOneWay, 16, nil)
+			}
+		}, nil, 0)
+	}
+	res, err := k.Run()
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return res
+}
+
+// TestShardedTraceStreamAcrossWorkers: the merged trace stream of a
+// sharded run must be bitwise identical no matter how many host threads
+// drive the shards, and installing the tracer must not perturb the Result.
+func TestShardedTraceStreamAcrossWorkers(t *testing.T) {
+	base := &sliceTracer{}
+	baseRes := tracedShardedRun(t, 1, base)
+	if len(base.events) == 0 {
+		t.Fatal("no events traced")
+	}
+	untraced := tracedShardedRun(t, 1, nil)
+	if !reflect.DeepEqual(baseRes, untraced) {
+		t.Errorf("tracing perturbed the result:\n  traced   %+v\n  untraced %+v", baseRes, untraced)
+	}
+	for _, w := range []int{2, 4} {
+		tr := &sliceTracer{}
+		res := tracedShardedRun(t, w, tr)
+		if !reflect.DeepEqual(res, baseRes) {
+			t.Errorf("workers=%d: result diverged", w)
+		}
+		if !reflect.DeepEqual(tr.events, base.events) {
+			t.Fatalf("workers=%d: trace stream diverged (%d events vs %d)",
+				w, len(tr.events), len(base.events))
+		}
+	}
+}
+
+// TestShardedTraceStreamWellFormed checks the merged stream's structural
+// invariants: Seq dense from 1, lifecycle balance, send/handle pairing,
+// and per-core virtual-time monotonicity of lifecycle events (a core's own
+// clock never runs backwards, and the merge must preserve that order;
+// handle/unblock events carry stamps that may run ahead of the clock, so
+// they are excluded).
+func TestShardedTraceStreamWellFormed(t *testing.T) {
+	tr := &sliceTracer{}
+	tracedShardedRun(t, 2, tr)
+	kinds := map[TraceKind]int{}
+	lastVT := map[int]vtime.Time{}
+	for i, ev := range tr.events {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has Seq %d: not dense from 1", i, ev.Seq)
+		}
+		kinds[ev.Kind]++
+		switch ev.Kind {
+		case TraceTaskStart, TraceTaskResume, TraceTaskStall, TraceTaskBlock, TraceTaskEnd:
+			if last, ok := lastVT[ev.Core]; ok && ev.VT < last {
+				t.Fatalf("core %d: event %d at %v after %v — per-core order broken",
+					ev.Core, i, ev.VT, last)
+			}
+			lastVT[ev.Core] = ev.VT
+		}
+	}
+	if kinds[TraceTaskStart] != kinds[TraceTaskEnd] {
+		t.Errorf("unbalanced lifecycle: %d starts, %d ends",
+			kinds[TraceTaskStart], kinds[TraceTaskEnd])
+	}
+	if kinds[TraceSend] != kinds[TraceHandle] {
+		t.Errorf("unbalanced traffic: %d sends, %d handles",
+			kinds[TraceSend], kinds[TraceHandle])
+	}
+	if kinds[TraceSend] == 0 {
+		t.Error("no message traffic traced")
+	}
+}
+
+// TestShardedTraceRace hammers the per-shard trace buffers from parallel
+// rounds across several worker counts; run under -race it proves the
+// lock-free appends never touch one buffer from two threads. (CI runs this
+// file with the race detector enabled.)
+func TestShardedTraceRace(t *testing.T) {
+	for _, w := range []int{2, 4, 8} {
+		for iter := 0; iter < 3; iter++ {
+			tr := &sliceTracer{}
+			tracedShardedRun(t, w, tr)
+			if len(tr.events) == 0 {
+				t.Fatalf("workers=%d iter=%d: no events", w, iter)
+			}
+		}
+	}
+}
+
+// TestValidatingTracerOnShardedEngine: Validate runs at barrier-delivered
+// trace events must pass on a healthy sharded run (tracer callbacks fire
+// single-threaded, after refreshEff).
+func TestValidatingTracerOnShardedEngine(t *testing.T) {
+	k := New(Config{Topo: topology.Mesh(16), Policy: Spatial{T: DefaultT},
+		Seed: 7, Shards: 4, Workers: 2})
+	if !k.Sharded() {
+		t.Fatal("expected sharded kernel")
+	}
+	k.SetTracer(&ValidatingTracer{K: k, Interval: 16})
+	k.Handle(kindOneWay, func(k *Kernel, msg network.Message) {})
+	for c := 0; c < 16; c++ {
+		c := c
+		k.InjectTask(c, "w", func(e *Env) {
+			for i := 0; i < 10; i++ {
+				e.ComputeCycles(12)
+				e.Send((c+5)%16, kindOneWay, 16, nil)
+			}
+		}, nil, 0)
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

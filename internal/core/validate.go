@@ -100,7 +100,10 @@ func (k *Kernel) Validate() error {
 
 // ValidatingTracer runs Kernel.Validate every Interval trace events and
 // panics on the first violation, pinpointing the event that exposed it.
-// Wrap another tracer to keep recording.
+// Wrap another tracer to keep recording. It is safe on the sharded engine:
+// tracer callbacks run single-threaded at each barrier, after the
+// effective-time refresh, exactly when the same-shard invariants Validate
+// checks are supposed to hold.
 type ValidatingTracer struct {
 	K        *Kernel
 	Interval uint64

@@ -19,14 +19,35 @@ package drift
 
 import (
 	"simany/internal/core"
+	"simany/internal/metrics"
 	"simany/internal/vtime"
 )
+
+// probe records how far ahead of a scheme's reference point (the global
+// minimum, a referee's clock) the deciding core sits, clamped at zero —
+// the measured drift the scheme's slack parameter bounds. The histograms
+// feed the deterministic metrics registry (docs/observability.md,
+// "drift-to-bound"). These global schemes run on the sequential engine
+// (none of them is shard-local), so stripe 0 is always the caller's own.
+func probe(h *metrics.Histogram, ahead vtime.Time) {
+	if h == nil {
+		return
+	}
+	if ahead < 0 {
+		ahead = 0
+	}
+	h.ObserveTime(0, ahead)
+}
 
 // GlobalQuantum is a quantum-based global synchronization: virtual time is
 // divided into windows of Q; no core may enter window w+1 before every busy
 // core has finished window w.
 type GlobalQuantum struct {
 	Q vtime.Time
+	// Probe, when non-nil, records the deciding core's lead over the
+	// global minimum at every horizon evaluation (bounded by Q when the
+	// scheme works as designed).
+	Probe *metrics.Histogram
 }
 
 // Name implements core.Policy.
@@ -41,6 +62,7 @@ func (p GlobalQuantum) Horizon(c *core.Core) vtime.Time {
 	if m == vtime.Inf {
 		return vtime.Inf
 	}
+	probe(p.Probe, c.VT()-m)
 	// End of the window containing the globally slowest core.
 	return (m/p.Q + 1) * p.Q
 }
@@ -53,6 +75,9 @@ func (GlobalQuantum) IdleTime(*core.Core) vtime.Time { return vtime.Inf }
 // virtual time by at most W (SlackSim's bounded slack scheme).
 type BoundedSlack struct {
 	W vtime.Time
+	// Probe, when non-nil, records the deciding core's lead over the
+	// global minimum at every horizon evaluation (bounded by W).
+	Probe *metrics.Histogram
 }
 
 // Name implements core.Policy.
@@ -67,6 +92,7 @@ func (p BoundedSlack) Horizon(c *core.Core) vtime.Time {
 	if m == vtime.Inf {
 		return vtime.Inf
 	}
+	probe(p.Probe, c.VT()-m)
 	return m + p.W
 }
 
@@ -129,6 +155,10 @@ func (Unbounded) ShardLocal() bool { return true }
 // catches up (here: its horizon becomes referee+Slack).
 type LaxP2P struct {
 	Slack vtime.Time
+	// Probe, when non-nil, records the deciding core's lead over its
+	// randomly drawn referee at every horizon evaluation (the quantity the
+	// scheme compares against Slack).
+	Probe *metrics.Histogram
 }
 
 // Name implements core.Policy.
@@ -156,6 +186,7 @@ func (p LaxP2P) Horizon(c *core.Core) vtime.Time {
 	if t == vtime.Inf {
 		return vtime.Inf
 	}
+	probe(p.Probe, c.VT()-t)
 	return t + p.Slack
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"simany/internal/core"
+	"simany/internal/metrics"
 	"simany/internal/topology"
 	"simany/internal/vtime"
 )
@@ -177,4 +178,46 @@ func TestLockExemptionRespectedByGlobalSchemes(t *testing.T) {
 			t.Errorf("%s: locked span = %v", pol.Name(), span)
 		}
 	}
+}
+
+// TestProbeRecordsDrift: with a Probe histogram attached, the schemes
+// record the measured core lead at every horizon evaluation, and the
+// maximum stays within the scheme's bound (plus one block of overshoot).
+func TestProbeRecordsDrift(t *testing.T) {
+	W := vtime.CyclesInt(30)
+	block := vtime.CyclesInt(10)
+	cases := []struct {
+		name  string
+		mk    func(*metrics.Histogram) core.Policy
+		bound vtime.Time
+	}{
+		{"quantum", func(h *metrics.Histogram) core.Policy {
+			return GlobalQuantum{Q: W, Probe: h}
+		}, W + block},
+		{"bounded-slack", func(h *metrics.Histogram) core.Policy {
+			return BoundedSlack{W: W, Probe: h}
+		}, W + block},
+		{"laxp2p", func(h *metrics.Histogram) core.Policy {
+			return LaxP2P{Slack: W, Probe: h}
+		}, W + block},
+	}
+	for _, tc := range cases {
+		reg := metrics.New()
+		h := reg.Histogram("drift.probe", metrics.UnitTime, metrics.DefaultTimeBounds())
+		runPair(t, tc.mk(h), 10)
+		snap := reg.Snapshot()
+		hs := snap.Histograms[0]
+		if hs.Count == 0 {
+			t.Errorf("%s: probe recorded nothing", tc.name)
+			continue
+		}
+		if hs.Min < 0 {
+			t.Errorf("%s: negative drift %d recorded (clamp failed)", tc.name, hs.Min)
+		}
+		if max := vtime.Time(hs.Max); max > tc.bound {
+			t.Errorf("%s: probed drift %v exceeds bound %v", tc.name, max, tc.bound)
+		}
+	}
+	// Nil probe: no panic, same results.
+	runPair(t, BoundedSlack{W: W}, 10)
 }

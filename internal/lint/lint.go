@@ -177,7 +177,7 @@ func Run(prog *Program, analyzers []*Analyzer) *Reporter {
 // deterministicPkgs are the simulator packages where host entropy is
 // forbidden: everything they compute must depend only on (seed, config).
 var deterministicPkgs = []string{
-	"core", "rt", "mem", "network", "drift", "vtime", "topology",
+	"core", "rt", "mem", "network", "drift", "vtime", "topology", "metrics",
 }
 
 // stateMutatorPkgs are the packages whose functions mutate simulator state

@@ -93,6 +93,23 @@ type Model struct {
 	messages  atomic.Int64
 	totalHops atomic.Int64
 	bytes     atomic.Int64
+
+	// obs, when non-nil, receives fine-grain timing observations from
+	// Send. Install it before the simulation runs.
+	obs Observer
+}
+
+// Observer receives fine-grain timing observations from the model. Under
+// sharded execution Send runs concurrently for routes owned by different
+// shards, so implementations must tolerate concurrent calls for nodes of
+// different shards; calls for any single node are never concurrent (a
+// node's outgoing links belong to exactly one shard, and cross-shard
+// routes are only walked by the single-threaded barrier).
+type Observer interface {
+	// LinkWait reports that a message waited wait > 0 for the directed
+	// link out of node (neighbor index nbIdx) to become free before
+	// occupying it — the per-link contention the model charges.
+	LinkWait(node, nbIdx int, wait vtime.Time)
 }
 
 // New builds a network model over a topology. It panics if the topology is
@@ -348,6 +365,9 @@ func (m *Model) Send(msg Message) Message {
 		// Contention: wait for the link to be free, then occupy it for the
 		// serialization time.
 		start := vtime.Max(t, m.nbFree[cur][j])
+		if m.obs != nil && start > t {
+			m.obs.LinkWait(cur, int(j), start-t)
+		}
 		m.nbFree[cur][j] = start + ser
 		t = start + ser + lat + m.params.RouterDelay
 		cur = m.topo.Neighbors(cur)[j]
@@ -371,6 +391,10 @@ func (m *Model) Send(msg Message) Message {
 // Seq returns the deterministic global emission index of msg (valid after
 // Send).
 func (msg Message) Seq() uint64 { return msg.seq }
+
+// SetObserver installs (or removes, with nil) the timing observer. Call
+// before the simulation starts; the field is read on every Send.
+func (m *Model) SetObserver(o Observer) { m.obs = o }
 
 // Stats reports cumulative message count, hop count and payload bytes.
 func (m *Model) Stats() (messages, hops, bytes int64) {

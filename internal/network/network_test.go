@@ -243,3 +243,46 @@ func TestHeavyTrafficMakesLatency(t *testing.T) {
 		t.Errorf("expected heavy queueing, got %v vs idle %v", prev, idle)
 	}
 }
+
+// recordingObserver collects LinkWait observations for assertions.
+type recordingObserver struct {
+	waits []vtime.Time
+	nodes []int
+}
+
+func (o *recordingObserver) LinkWait(node, nbIdx int, wait vtime.Time) {
+	o.waits = append(o.waits, wait)
+	o.nodes = append(o.nodes, node)
+}
+
+func TestObserverSeesLinkContention(t *testing.T) {
+	m := mesh4x4()
+	obs := &recordingObserver{}
+	m.SetObserver(obs)
+	// Two same-stamp messages over the same first link (0->1): the second
+	// must wait for the first's serialization slot and the observer must
+	// see exactly that wait on node 0.
+	first := m.Send(Message{Src: 0, Dst: 1, Size: 256, Stamp: 0})
+	if len(obs.waits) != 0 {
+		t.Fatalf("idle send reported waits: %v", obs.waits)
+	}
+	second := m.Send(Message{Src: 0, Dst: 1, Size: 256, Stamp: 0})
+	if len(obs.waits) != 1 {
+		t.Fatalf("contended send reported %d waits, want 1", len(obs.waits))
+	}
+	if obs.nodes[0] != 0 {
+		t.Errorf("wait attributed to node %d, want 0", obs.nodes[0])
+	}
+	if obs.waits[0] <= 0 {
+		t.Errorf("non-positive wait %v reported", obs.waits[0])
+	}
+	if second.Arrival <= first.Arrival {
+		t.Errorf("contended arrival %v not after %v", second.Arrival, first.Arrival)
+	}
+	// Removing the observer stops reporting without changing timing.
+	m.SetObserver(nil)
+	m.Send(Message{Src: 0, Dst: 1, Size: 256, Stamp: 0})
+	if len(obs.waits) != 1 {
+		t.Errorf("detached observer still called: %v", obs.waits)
+	}
+}

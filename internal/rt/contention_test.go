@@ -59,16 +59,16 @@ func TestTaskMigration(t *testing.T) {
 	r := New(k, nil, opt)
 	// Fill core 1's queue directly, then ship one more task to it without
 	// a reservation; the spawn handler must forward it.
-	victim := k.NewTask("victim", r.wrap(nil, func(e *core.Env) {
+	victim := k.NewTask(1, "victim", r.wrap(nil, func(e *core.Env) {
 		e.ComputeCycles(10)
 	}), &taskMeta{})
 	k.PlaceTask(victim, 1, 0, nil)
-	stuffed := k.NewTask("stuffed", r.wrap(nil, func(e *core.Env) {
+	stuffed := k.NewTask(1, "stuffed", r.wrap(nil, func(e *core.Env) {
 		e.ComputeCycles(10_000)
 	}), &taskMeta{})
 	k.PlaceTask(stuffed, 1, 0, nil)
 
-	migrated := k.NewTask("migrated", r.wrap(nil, func(e *core.Env) {
+	migrated := k.NewTask(0, "migrated", r.wrap(nil, func(e *core.Env) {
 		e.ComputeCycles(10)
 	}), &taskMeta{})
 	k.SendAt(0, 1, KindTaskSpawn, 64, &spawnMsg{task: migrated}, 0)
@@ -98,13 +98,13 @@ func TestMigrationHopBound(t *testing.T) {
 	r := New(k, nil, opt)
 	for c := 0; c < 2; c++ {
 		for j := 0; j < 2; j++ {
-			tk := k.NewTask("filler", r.wrap(nil, func(e *core.Env) {
+			tk := k.NewTask(c, "filler", r.wrap(nil, func(e *core.Env) {
 				e.ComputeCycles(100)
 			}), &taskMeta{})
 			k.PlaceTask(tk, c, 0, nil)
 		}
 	}
-	extra := k.NewTask("extra", r.wrap(nil, func(e *core.Env) {
+	extra := k.NewTask(0, "extra", r.wrap(nil, func(e *core.Env) {
 		e.ComputeCycles(10)
 	}), &taskMeta{})
 	k.SendAt(0, 1, KindTaskSpawn, 64, &spawnMsg{task: extra}, 0)
@@ -170,11 +170,11 @@ func TestCellLocalWaiter(t *testing.T) {
 		link = r.NewCell(e, 32, int(0))
 		// Two additional tasks on the same core; the runtime must
 		// serialize their accesses through the local waiter queue.
-		t1 := k.NewTask("t1", r.wrap(nil, func(ce *core.Env) {
+		t1 := k.NewTask(0, "t1", r.wrap(nil, func(ce *core.Env) {
 			r.Access(ce, link, func(d any) any { return d.(int) + 1 })
 		}), &taskMeta{})
 		k.PlaceTask(t1, 0, e.Now(), nil)
-		t2 := k.NewTask("t2", r.wrap(nil, func(ce *core.Env) {
+		t2 := k.NewTask(0, "t2", r.wrap(nil, func(ce *core.Env) {
 			r.Access(ce, link, func(d any) any { return d.(int) + 10 })
 		}), &taskMeta{})
 		k.PlaceTask(t2, 0, e.Now(), nil)

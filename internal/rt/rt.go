@@ -243,7 +243,7 @@ func (r *Runtime) wrap(g *Group, fn func(*core.Env)) func(*core.Env) {
 
 // Run injects the root task and drives the simulation to completion.
 func (r *Runtime) Run(name string, root func(*core.Env)) (core.Result, error) {
-	t := r.k.NewTask(name, r.wrap(nil, root), &taskMeta{})
+	t := r.k.NewTask(r.opt.RootCore, name, r.wrap(nil, root), &taskMeta{})
 	r.k.PlaceTask(t, r.opt.RootCore, 0, nil)
 	return r.k.Run()
 }
@@ -319,7 +319,7 @@ func (r *Runtime) SpawnOrRun(e *core.Env, g *Group, name string, argBytes int, f
 	// earlier-or-equal stamp, so the home shard always applies it before the
 	// child can be placed (let alone terminate).
 	g.addFrom(me, birth, 1)
-	child := r.k.NewTask(name, r.wrap(g, fn), &taskMeta{group: g})
+	child := r.k.NewTask(me, name, r.wrap(g, fn), &taskMeta{group: g})
 	r.k.RegisterBirth(r.k.Core(me), child, birth)
 	r.occ[me][rep.from] = rep.queueLen + 1
 	e.Send(cand, KindTaskSpawn, r.opt.SpawnBaseSize+argBytes,

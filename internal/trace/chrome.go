@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"simany/internal/core"
+	"simany/internal/vtime"
+)
+
+// Chrome trace_event export: the recorded stream rendered as the JSON
+// format chrome://tracing, Perfetto (ui.perfetto.dev) and speedscope all
+// read. Each core becomes a thread (tid) of one "simany" process; task
+// execution spans become "X" complete events and message send/handle
+// points become thread-scoped instant events. Virtual time maps one
+// simulated cycle to one microsecond, so the viewer's time axis reads
+// directly in cycles.
+
+// chromeEvent is one trace_event record. Field order fixes the JSON key
+// order, so the output is byte-for-byte deterministic for a given stream.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Ph   string      `json:"ph"`
+	Ts   float64     `json:"ts"`
+	Dur  float64     `json:"dur,omitempty"`
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	S    string      `json:"s,omitempty"`
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+// chromeArgs carries the kind-specific detail shown in the viewer's
+// selection panel.
+type chromeArgs struct {
+	TaskID uint64 `json:"taskId,omitempty"`
+	Peer   *int   `json:"peer,omitempty"`
+	Name   string `json:"name,omitempty"`
+}
+
+// usPerCycle converts virtual time to trace microseconds (1 cycle = 1 µs).
+func usPerCycle(t vtime.Time) float64 {
+	//lint:allow rawvtime exporting to trace_event µs: 1 cycle maps to 1 µs by construction
+	return float64(t) / float64(vtime.Cycle)
+}
+
+// WriteChrome writes the event stream as Chrome trace_event JSON. Spans
+// still open at the end of the stream are closed at endVT, mirroring
+// busyIntervals, so a truncated or still-running trace remains viewable.
+// Events attributed to out-of-range cores are exported as-is (they appear
+// as extra thread rows); use Anomalies to detect them.
+func WriteChrome(w io.Writer, events []core.TraceEvent, numCores int, endVT vtime.Time) error {
+	type openSpan struct {
+		from vtime.Time
+		task string
+		id   uint64
+	}
+	out := []chromeEvent{
+		{Name: "process_name", Ph: "M", Args: &chromeArgs{Name: "simany"}},
+	}
+	span := func(c int, s openSpan, to vtime.Time) {
+		if to <= s.from {
+			return
+		}
+		name := s.task
+		if name == "" {
+			name = "task"
+		}
+		out = append(out, chromeEvent{
+			Name: name,
+			Ph:   "X",
+			Ts:   usPerCycle(s.from),
+			Dur:  usPerCycle(to - s.from),
+			Tid:  c,
+			Args: &chromeArgs{TaskID: s.id},
+		})
+	}
+	instant := func(ev core.TraceEvent) {
+		peer := int(ev.Aux)
+		out = append(out, chromeEvent{
+			Name: ev.Kind.String(),
+			Ph:   "i",
+			Ts:   usPerCycle(ev.VT),
+			Tid:  ev.Core,
+			S:    "t",
+			Args: &chromeArgs{TaskID: ev.TaskID, Peer: &peer},
+		})
+	}
+	open := map[int]openSpan{}
+	for _, ev := range events {
+		switch ev.Kind {
+		case core.TraceTaskStart, core.TraceTaskResume:
+			if _, ok := open[ev.Core]; !ok {
+				open[ev.Core] = openSpan{from: ev.VT, task: ev.Task, id: ev.TaskID}
+			}
+		case core.TraceTaskBlock, core.TraceTaskEnd, core.TraceTaskStall:
+			if s, ok := open[ev.Core]; ok {
+				span(ev.Core, s, ev.VT)
+				delete(open, ev.Core)
+				if ev.Kind == core.TraceTaskStall {
+					// Same rule as busyIntervals: the task still owns the
+					// core and resumes at the same VT.
+					open[ev.Core] = openSpan{from: ev.VT, task: s.task, id: s.id}
+				}
+			}
+		case core.TraceSend, core.TraceHandle:
+			instant(ev)
+		}
+	}
+	// Close the still-open spans at endVT, in sorted core order so the
+	// output does not depend on map iteration.
+	cores := make([]int, 0, len(open))
+	for c := range open {
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
+	for _, c := range cores {
+		span(c, open[c], endVT)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{out, "ms"})
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"simany/internal/core"
+	"simany/internal/vtime"
+)
+
+// chromeDoc mirrors the exported JSON shape for decoding in tests.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Tid  int     `json:"tid"`
+	} `json:"traceEvents"`
+}
+
+func TestWriteChrome(t *testing.T) {
+	rec, res, k := tracedRun(t, 0)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, rec.Events(), k.NumCores(), res.FinalVT); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var spans, instants int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans++
+			if ev.Dur <= 0 {
+				t.Errorf("span %q has non-positive duration %v", ev.Name, ev.Dur)
+			}
+			if ev.Tid < 0 || ev.Tid >= k.NumCores() {
+				t.Errorf("span on unexpected tid %d", ev.Tid)
+			}
+		case "i":
+			instants++
+		}
+	}
+	if spans == 0 {
+		t.Error("no execution spans exported")
+	}
+	if instants == 0 {
+		t.Error("no message instants exported")
+	}
+	if !strings.Contains(buf.String(), `"child"`) {
+		t.Error("task names missing from export")
+	}
+}
+
+func TestWriteChromeClosesOpenSpans(t *testing.T) {
+	evs := []core.TraceEvent{
+		{Seq: 1, Kind: core.TraceTaskStart, Core: 0, VT: 0, Task: "loop", TaskID: 7},
+		// Never ends: must be closed at endVT.
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, evs, 1, vtime.CyclesInt(100)); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "loop" {
+			found = true
+			if ev.Ts != 0 || ev.Dur != 100 {
+				t.Errorf("span [%v, +%v], want [0, +100] µs", ev.Ts, ev.Dur)
+			}
+		}
+	}
+	if !found {
+		t.Error("open span not exported")
+	}
+}
+
+func TestWriteChromeDeterministic(t *testing.T) {
+	rec, res, k := tracedRun(t, 0)
+	var a, b bytes.Buffer
+	if err := WriteChrome(&a, rec.Events(), k.NumCores(), res.FinalVT); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b, rec.Events(), k.NumCores(), res.FinalVT); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("export is not byte-for-byte deterministic")
+	}
+}

@@ -9,6 +9,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"simany/internal/core"
@@ -17,6 +18,12 @@ import (
 
 // Recorder collects trace events up to a limit (0 = unlimited). When the
 // limit is reached further events are counted but dropped.
+//
+// Truncation semantics: the retained prefix is a valid trace up to the
+// virtual time of the last kept event, but it is a *prefix* — tasks still
+// running at that point have no closing event, and the analysis helpers
+// will treat their final spans as extending to endVT. Check Truncated (or
+// Dropped) before trusting aggregate numbers from a limited recording.
 type Recorder struct {
 	// Limit bounds the retained events (0 = unlimited).
 	Limit int
@@ -46,6 +53,11 @@ func (r *Recorder) Events() []core.TraceEvent { return r.events }
 
 // Dropped returns how many events exceeded the limit.
 func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// Truncated reports whether the recording is incomplete: at least one
+// event was dropped because the retention limit was reached. Analyses of a
+// truncated trace only describe the retained prefix.
+func (r *Recorder) Truncated() bool { return r.dropped > 0 }
 
 // WriteText dumps the trace as one line per event.
 func (r *Recorder) WriteText(w io.Writer) error {
@@ -85,7 +97,14 @@ type busyInterval struct {
 // stream: a span opens at task-start/resume and closes at the next
 // stall/block/end on the same core. Stall closes the span only virtually —
 // the task resumes at the same VT — so consecutive spans merge naturally.
-func busyIntervals(events []core.TraceEvent) []busyInterval {
+//
+// Spans still open when the stream ends — a task running at the end of the
+// simulated window, or one whose closing event fell past a Recorder's
+// retention limit — are closed at endVT instead of being dropped, so the
+// busy time they represent is not silently lost. Pass the simulated end
+// time (e.g. Result.VT); with endVT ≤ the last event's VT the open spans
+// are clipped to whatever extends beyond their start.
+func busyIntervals(events []core.TraceEvent, endVT vtime.Time) []busyInterval {
 	open := map[int]vtime.Time{} // core -> span start
 	var out []busyInterval
 	for _, ev := range events {
@@ -108,17 +127,36 @@ func busyIntervals(events []core.TraceEvent) []busyInterval {
 			}
 		}
 	}
+	// Close the remaining spans at endVT, in sorted core order so the
+	// output does not depend on map iteration.
+	cores := make([]int, 0, len(open))
+	for c := range open {
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
+	for _, c := range cores {
+		if from := open[c]; endVT > from {
+			out = append(out, busyInterval{core: c, from: from, to: endVT})
+		}
+	}
 	return out
 }
 
 // Utilization returns, per core, the fraction of the simulated duration
-// [0, endVT] spent executing tasks.
+// [0, endVT] spent executing tasks. Spans attributed to core indices
+// outside [0, numCores) are ignored here — use Anomalies to surface them.
+//
+// Values above 1.0 are returned as-is rather than clamped: a utilization
+// over 100% means the reconstructed busy time exceeds the simulated
+// duration, which indicates a malformed trace (overlapping spans,
+// truncated stream, or a wrong endVT) and should be visible, not hidden.
 func Utilization(events []core.TraceEvent, numCores int, endVT vtime.Time) []float64 {
 	busy := make([]vtime.Time, numCores)
-	for _, iv := range busyIntervals(events) {
-		if iv.core < numCores {
-			busy[iv.core] += iv.to - iv.from
+	for _, iv := range busyIntervals(events, endVT) {
+		if iv.core < 0 || iv.core >= numCores {
+			continue
 		}
+		busy[iv.core] += iv.to - iv.from
 	}
 	out := make([]float64, numCores)
 	if endVT <= 0 {
@@ -126,15 +164,51 @@ func Utilization(events []core.TraceEvent, numCores int, endVT vtime.Time) []flo
 	}
 	for i, b := range busy {
 		out[i] = vtime.Ratio(b, endVT)
-		if out[i] > 1 {
-			out[i] = 1
+	}
+	return out
+}
+
+// Anomalies scans the event stream for accounting problems the aggregate
+// helpers would otherwise hide: spans attributed to core indices outside
+// [0, numCores) and per-core busy time exceeding the simulated duration
+// (utilization > 100%). It returns one human-readable string per finding,
+// in deterministic order (out-of-range cores first, both groups sorted by
+// core index); an empty slice means the trace is consistent.
+func Anomalies(events []core.TraceEvent, numCores int, endVT vtime.Time) []string {
+	busy := map[int]vtime.Time{}
+	for _, iv := range busyIntervals(events, endVT) {
+		busy[iv.core] += iv.to - iv.from
+	}
+	cores := make([]int, 0, len(busy))
+	for c := range busy {
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
+	var out []string
+	for _, c := range cores {
+		if c < 0 || c >= numCores {
+			out = append(out, fmt.Sprintf("busy time %v attributed to out-of-range core %d (machine has %d cores)",
+				busy[c], c, numCores))
+		}
+	}
+	if endVT > 0 {
+		for _, c := range cores {
+			if c < 0 || c >= numCores {
+				continue
+			}
+			if b := busy[c]; b > endVT {
+				out = append(out, fmt.Sprintf("core %d: busy time %v exceeds simulated duration %v (utilization %.1f%%)",
+					c, b, endVT, 100*vtime.Ratio(b, endVT)))
+			}
 		}
 	}
 	return out
 }
 
 // Timeline renders an ASCII activity chart: one row per core, width
-// columns spanning [0, endVT], '#' where the core was executing.
+// columns spanning [0, endVT], '#' where the core was executing. A row
+// whose utilization exceeds 100% is flagged with a trailing '!' — see
+// Anomalies for the diagnosis.
 func Timeline(w io.Writer, events []core.TraceEvent, numCores int, endVT vtime.Time, width int) error {
 	if width <= 0 {
 		width = 64
@@ -144,8 +218,8 @@ func Timeline(w io.Writer, events []core.TraceEvent, numCores int, endVT vtime.T
 		rows[i] = []byte(strings.Repeat(".", width))
 	}
 	if endVT > 0 {
-		for _, iv := range busyIntervals(events) {
-			if iv.core >= numCores {
+		for _, iv := range busyIntervals(events, endVT) {
+			if iv.core < 0 || iv.core >= numCores {
 				continue
 			}
 			//lint:allow rawvtime proportional column index: the millicycle unit cancels in from*width/end
@@ -162,7 +236,11 @@ func Timeline(w io.Writer, events []core.TraceEvent, numCores int, endVT vtime.T
 	}
 	util := Utilization(events, numCores, endVT)
 	for i, row := range rows {
-		if _, err := fmt.Fprintf(w, "core%-4d |%s| %5.1f%%\n", i, row, 100*util[i]); err != nil {
+		mark := ""
+		if util[i] > 1 {
+			mark = " !"
+		}
+		if _, err := fmt.Fprintf(w, "core%-4d |%s| %5.1f%%%s\n", i, row, 100*util[i], mark); err != nil {
 			return err
 		}
 	}
@@ -170,7 +248,9 @@ func Timeline(w io.Writer, events []core.TraceEvent, numCores int, endVT vtime.T
 }
 
 // MessageCounts aggregates sends per (src, dst) pair, useful for spotting
-// traffic hot spots.
+// traffic hot spots. The map form is convenient for lookups; use
+// MessageCountsSorted when iterating or reporting, so the order does not
+// depend on map iteration.
 func MessageCounts(events []core.TraceEvent) map[[2]int]int64 {
 	out := make(map[[2]int]int64)
 	for _, ev := range events {
@@ -179,4 +259,39 @@ func MessageCounts(events []core.TraceEvent) map[[2]int]int64 {
 		}
 	}
 	return out
+}
+
+// MessageCount is one (src, dst) traffic aggregate.
+type MessageCount struct {
+	Src, Dst int
+	Count    int64
+}
+
+// MessageCountsSorted aggregates sends per (src, dst) pair and returns
+// them sorted by (src, dst) — a deterministic form suitable for reports
+// and golden tests.
+func MessageCountsSorted(events []core.TraceEvent) []MessageCount {
+	counts := MessageCounts(events)
+	out := make([]MessageCount, 0, len(counts))
+	for k, n := range counts {
+		out = append(out, MessageCount{Src: k[0], Dst: k[1], Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
+// WriteMessageCounts writes the sorted (src, dst, count) traffic report,
+// one line per pair.
+func WriteMessageCounts(w io.Writer, events []core.TraceEvent) error {
+	for _, mc := range MessageCountsSorted(events) {
+		if _, err := fmt.Fprintf(w, "core%-4d -> core%-4d %8d\n", mc.Src, mc.Dst, mc.Count); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -188,6 +188,133 @@ func TestMessageCounts(t *testing.T) {
 	}
 }
 
+func TestOpenSpanClosedAtEnd(t *testing.T) {
+	// Regression: a task still running when the stream ends used to drop
+	// its final span entirely, under-reporting utilization.
+	evs := []core.TraceEvent{
+		{Seq: 1, Kind: core.TraceTaskStart, Core: 0, VT: 0},
+		{Seq: 2, Kind: core.TraceTaskEnd, Core: 0, VT: vtime.CyclesInt(20)},
+		{Seq: 3, Kind: core.TraceTaskStart, Core: 1, VT: vtime.CyclesInt(50)},
+		// Core 1's task never ends within the stream.
+	}
+	util := Utilization(evs, 2, vtime.CyclesInt(100))
+	if util[0] != 0.2 {
+		t.Errorf("closed span miscounted: %v", util)
+	}
+	if util[1] != 0.5 {
+		t.Errorf("open span not closed at endVT: %v", util)
+	}
+	// A stall as the final event keeps the core busy to the end too.
+	evs = []core.TraceEvent{
+		{Seq: 1, Kind: core.TraceTaskStart, Core: 0, VT: 0},
+		{Seq: 2, Kind: core.TraceTaskStall, Core: 0, VT: vtime.CyclesInt(40)},
+	}
+	util = Utilization(evs, 1, vtime.CyclesInt(100))
+	if util[0] != 1.0 {
+		t.Errorf("trailing stall lost the tail span: %v", util)
+	}
+}
+
+func TestOutOfRangeCoreGuard(t *testing.T) {
+	// Events attributed to cores outside [0, numCores) must not panic or
+	// corrupt neighbors' accounting.
+	evs := []core.TraceEvent{
+		{Seq: 1, Kind: core.TraceTaskStart, Core: -1, VT: 0},
+		{Seq: 2, Kind: core.TraceTaskEnd, Core: -1, VT: vtime.CyclesInt(10)},
+		{Seq: 3, Kind: core.TraceTaskStart, Core: 7, VT: 0},
+		{Seq: 4, Kind: core.TraceTaskEnd, Core: 7, VT: vtime.CyclesInt(10)},
+		{Seq: 5, Kind: core.TraceTaskStart, Core: 0, VT: 0},
+		{Seq: 6, Kind: core.TraceTaskEnd, Core: 0, VT: vtime.CyclesInt(50)},
+	}
+	end := vtime.CyclesInt(100)
+	util := Utilization(evs, 2, end)
+	if util[0] != 0.5 || util[1] != 0 {
+		t.Errorf("out-of-range events perturbed utilization: %v", util)
+	}
+	var buf bytes.Buffer
+	if err := Timeline(&buf, evs, 2, end, 20); err != nil {
+		t.Fatal(err)
+	}
+	anoms := Anomalies(evs, 2, end)
+	if len(anoms) != 2 {
+		t.Fatalf("anomalies = %v", anoms)
+	}
+	for _, a := range anoms {
+		if !strings.Contains(a, "out-of-range") {
+			t.Errorf("unexpected anomaly: %q", a)
+		}
+	}
+}
+
+func TestOverUtilizationSurfaced(t *testing.T) {
+	// Two overlapping spans on one core: busy time exceeds the duration.
+	// The old code clamped this to 100%; it must now be visible.
+	evs := []core.TraceEvent{
+		{Seq: 1, Kind: core.TraceTaskStart, Core: 0, VT: 0},
+		{Seq: 2, Kind: core.TraceTaskEnd, Core: 0, VT: vtime.CyclesInt(80)},
+		{Seq: 3, Kind: core.TraceTaskStart, Core: 0, VT: vtime.CyclesInt(20)},
+		{Seq: 4, Kind: core.TraceTaskEnd, Core: 0, VT: vtime.CyclesInt(90)},
+	}
+	end := vtime.CyclesInt(100)
+	util := Utilization(evs, 1, end)
+	if util[0] <= 1 {
+		t.Errorf("over-utilization clamped: %v", util)
+	}
+	anoms := Anomalies(evs, 1, end)
+	if len(anoms) != 1 || !strings.Contains(anoms[0], "exceeds simulated duration") {
+		t.Errorf("anomaly not surfaced: %v", anoms)
+	}
+	var buf bytes.Buffer
+	if err := Timeline(&buf, evs, 1, end, 20); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "!") {
+		t.Error("timeline missing over-utilization marker")
+	}
+	// A clean trace reports nothing.
+	if got := Anomalies(evs[:2], 1, end); len(got) != 0 {
+		t.Errorf("false anomalies: %v", got)
+	}
+}
+
+func TestMessageCountsSorted(t *testing.T) {
+	rec, _, _ := tracedRun(t, 0)
+	sorted := MessageCountsSorted(rec.Events())
+	counts := MessageCounts(rec.Events())
+	if len(sorted) != len(counts) {
+		t.Fatalf("sorted has %d pairs, map has %d", len(sorted), len(counts))
+	}
+	for i, mc := range sorted {
+		if counts[[2]int{mc.Src, mc.Dst}] != mc.Count {
+			t.Errorf("count mismatch for (%d,%d)", mc.Src, mc.Dst)
+		}
+		if i > 0 {
+			p := sorted[i-1]
+			if p.Src > mc.Src || (p.Src == mc.Src && p.Dst >= mc.Dst) {
+				t.Fatalf("not sorted: %v before %v", p, mc)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteMessageCounts(&buf, rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(strings.TrimSpace(buf.String()), "\n") + 1; lines != len(sorted) {
+		t.Errorf("report lines = %d, pairs = %d", lines, len(sorted))
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	full, _, _ := tracedRun(t, 0)
+	if full.Truncated() {
+		t.Error("unlimited recorder reports truncation")
+	}
+	lim, _, _ := tracedRun(t, 5)
+	if !lim.Truncated() {
+		t.Error("limited recorder with drops must report truncation")
+	}
+}
+
 func TestTracerViaSetTracer(t *testing.T) {
 	k := core.New(core.Config{Topo: topology.Mesh(1), Seed: 1})
 	rec := NewRecorder(0)
