@@ -48,6 +48,7 @@ func run(args []string) error {
 		seed      = fs.Int64("seed", 42, "random seed")
 		shards    = fs.Int("shards", 1, "topology partitions for the parallel engine (1 = sequential)")
 		workers   = fs.Int("workers", 0, "host threads driving the shards (0 = all CPUs, capped at -shards)")
+		sched     = fs.String("sched", "auto", "scheduler implementation: auto (indexed when the policy allows), scan (reference linear scan), verify (both, panic on divergence)")
 		scale     = fs.Float64("scale", 1, "dataset scale factor (≥1 approaches paper-sized inputs)")
 		verbose   = fs.Bool("v", false, "print runtime statistics")
 		traceFile = fs.String("trace", "", "write an event trace to this file (.json = Chrome/Perfetto trace_event format, otherwise text)")
@@ -74,7 +75,7 @@ func run(args []string) error {
 		if m.Seed == 0 {
 			m.Seed = *seed
 		}
-		m.Shards, m.Workers = *shards, *workers
+		m.Shards, m.Workers, m.Sched = *shards, *workers, *sched
 		mode := bench.Shared
 		if m.Mem == config.DistributedMem {
 			mode = bench.Distributed
@@ -85,7 +86,7 @@ func run(args []string) error {
 		})
 	}
 	m = config.Machine{Cores: *cores, T: vtime.Cycles(*tCycles), Policy: *policy, Seed: *seed,
-		Shards: *shards, Workers: *workers}
+		Shards: *shards, Workers: *workers, Sched: *sched}
 	switch *style {
 	case "uniform":
 		m.Style = config.Uniform
@@ -180,6 +181,7 @@ func execute(b bench.Benchmark, m config.Machine, mode bench.Mode, seed int64, s
 		simWall.Round(time.Microsecond), nativeWall.Round(time.Microsecond),
 		float64(simWall)/float64(nativeWall+1))
 	if verbose {
+		fmt.Printf("scheduler        %s\n", k.Scheduler())
 		fmt.Printf("kernel steps     %d\n", res.Steps)
 		fmt.Printf("messages         %d (%d bytes, %d hops, %d handled out of order)\n",
 			res.Messages, res.Bytes, res.Hops, res.OutOfOrder)

@@ -111,6 +111,12 @@ type Machine struct {
 	// Workers is the number of host threads driving the shards (0 =
 	// GOMAXPROCS, capped at Shards). It never affects results.
 	Workers int
+	// Sched selects the scheduling implementation (docs/scheduler.md):
+	// "auto" or "" uses the indexed runnable queue when the policy's
+	// horizon is cacheable, "scan" forces the reference linear scan, and
+	// "verify" runs both side by side, panicking on divergence. The
+	// choice never affects results — only host speed.
+	Sched string
 	// Metrics, when non-nil, attaches a deterministic metrics registry:
 	// the kernel records its standard instruments (message latency, link
 	// contention, barrier stalls — see docs/observability.md) into it, and
@@ -156,6 +162,20 @@ func (m Machine) Topology() *topology.Topology {
 		return topology.Clustered(m.Cores, topology.DefaultClusteredParams(8))
 	default:
 		return topology.Mesh(m.Cores)
+	}
+}
+
+// parseSched resolves the scheduler-mode string.
+func (m Machine) parseSched() (core.SchedMode, error) {
+	switch m.Sched {
+	case "", "auto":
+		return core.SchedAuto, nil
+	case "scan":
+		return core.SchedScan, nil
+	case "verify":
+		return core.SchedVerify, nil
+	default:
+		return 0, fmt.Errorf("config: unknown scheduler mode %q", m.Sched)
 	}
 }
 
@@ -229,6 +249,10 @@ func (m Machine) Build() (*core.Kernel, *rt.Runtime, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	sched, err := m.parseSched()
+	if err != nil {
+		return nil, nil, err
+	}
 	topo := m.Topology()
 	netParams := network.DefaultParams()
 	var ms core.MemSystem
@@ -254,6 +278,7 @@ func (m Machine) Build() (*core.Kernel, *rt.Runtime, error) {
 		MaxSteps:  m.MaxSteps,
 		Shards:    m.Shards,
 		Workers:   m.Workers,
+		Sched:     sched,
 		Metrics:   m.Metrics,
 	}
 	if isCycleLevel {

@@ -32,10 +32,26 @@ type Core struct {
 	neighbors []int        // topological neighbors (sorted)
 	nbEff     []vtime.Time // proxies of the neighbors' effective times
 
-	// Resident tasks.
+	// Resident tasks. conts and ready are only mutated through the
+	// push/pop helpers below, which maintain the cached queue minima.
 	current *Task   // task that yielded as stalled, resumed first
 	conts   []*Task // unblocked continuations (run before fresh tasks)
 	ready   []*Task // fresh tasks in arrival order
+
+	// Cached queue minima: the minimum arrival stamp over ready and the
+	// minimum resume stamp over conts, maintained incrementally (same
+	// lazy-recompute discipline as the birth cache) so the scheduler's
+	// runnable-key computation and NextEventTime never rescan the queues.
+	readyMin      vtime.Time
+	readyMinDirty bool
+	contsMin      vtime.Time
+	contsMinDirty bool
+
+	// Indexed-scheduler state (sched.go), owned by the core's domain:
+	// position in the domain's runnable heap (-1 = not enqueued) and the
+	// cached runnable key it is ordered by while enqueued.
+	schedPos int
+	schedKey vtime.Time
 
 	lockDepth int // >0: lock-holder exemption from spatial stalls
 
@@ -151,6 +167,83 @@ func (c *Core) removeBirth(id uint64) {
 	}
 }
 
+// minReadyArrival returns the minimum arrival stamp over the core's fresh
+// task queue, Inf when it is empty.
+func (c *Core) minReadyArrival() vtime.Time {
+	if c.readyMinDirty {
+		m := vtime.Inf
+		for _, t := range c.ready {
+			if t.arrival < m {
+				m = t.arrival
+			}
+		}
+		c.readyMin = m
+		c.readyMinDirty = false
+	}
+	return c.readyMin
+}
+
+// minContResume returns the minimum resume stamp over the core's
+// continuation queue, Inf when it is empty.
+func (c *Core) minContResume() vtime.Time {
+	if c.contsMinDirty {
+		m := vtime.Inf
+		for _, t := range c.conts {
+			if t.resume < m {
+				m = t.resume
+			}
+		}
+		c.contsMin = m
+		c.contsMinDirty = false
+	}
+	return c.contsMin
+}
+
+// pushReady appends a fresh task; the cached minimum absorbs the new
+// arrival directly unless it is already pending a recompute.
+func (c *Core) pushReady(t *Task) {
+	c.ready = append(c.ready, t)
+	if !c.readyMinDirty && t.arrival < c.readyMin {
+		c.readyMin = t.arrival
+	}
+}
+
+// popReady removes and returns the head of the fresh task queue. Removing
+// the task that carried the cached minimum schedules a lazy recompute;
+// draining the queue resets the cache exactly.
+func (c *Core) popReady() *Task {
+	t := c.ready[0]
+	c.ready = c.ready[1:]
+	if len(c.ready) == 0 {
+		c.readyMin = vtime.Inf
+		c.readyMinDirty = false
+	} else if !c.readyMinDirty && t.arrival == c.readyMin {
+		c.readyMinDirty = true
+	}
+	return t
+}
+
+// pushCont appends an unblocked continuation (see pushReady).
+func (c *Core) pushCont(t *Task) {
+	c.conts = append(c.conts, t)
+	if !c.contsMinDirty && t.resume < c.contsMin {
+		c.contsMin = t.resume
+	}
+}
+
+// popCont removes and returns the head continuation (see popReady).
+func (c *Core) popCont() *Task {
+	t := c.conts[0]
+	c.conts = c.conts[1:]
+	if len(c.conts) == 0 {
+		c.contsMin = vtime.Inf
+		c.contsMinDirty = false
+	} else if !c.contsMinDirty && t.resume == c.contsMin {
+		c.contsMinDirty = true
+	}
+	return t
+}
+
 // hasRunnableWork reports whether the core has anything to execute.
 func (c *Core) hasRunnableWork() bool {
 	return c.current != nil || len(c.conts) > 0 || len(c.ready) > 0
@@ -178,16 +271,9 @@ func (c *Core) NextEventTime() vtime.Time {
 	if !c.idle {
 		return c.vt
 	}
-	m := vtime.Inf
-	for _, t := range c.conts {
-		if t.resume < m {
-			m = t.resume
-		}
-	}
-	for _, t := range c.ready {
-		if t.arrival < m {
-			m = t.arrival
-		}
+	m := c.minContResume()
+	if r := c.minReadyArrival(); r < m {
+		m = r
 	}
 	if m == vtime.Inf {
 		return m

@@ -37,6 +37,13 @@ type domain struct {
 	// round, so local progress must not outrun the round quantum.
 	limit vtime.Time
 
+	// rq is the indexed runnable queue (sched.go); nil when the domain
+	// schedules through the reference scan (non-cacheable policy horizon,
+	// or Config.Sched = SchedScan). stepping is the core currently inside
+	// step, whose index entry is transient until the step completes.
+	rq       *runq
+	stepping *Core
+
 	// Host-parallelism potential sampling (§VIII).
 	runnableSum     int64
 	runnableSamples int64
@@ -107,44 +114,70 @@ func (d *domain) runnable(c *Core) (vtime.Time, bool) {
 	// drift.
 	key := c.vt
 	if c.idle {
-		key = vtime.Inf
-		if len(c.conts) > 0 {
+		key = c.minReadyArrival()
+		if len(c.conts) > 0 && c.conts[0].resume < key {
+			// The next task to run would be the head continuation, not the
+			// earliest one — the queue is FIFO — but any queued stamp is a
+			// valid wake-up key and the head is the cheapest O(1) choice,
+			// matching the reference kernel.
 			key = c.conts[0].resume
-		}
-		for _, t := range c.ready {
-			if t.arrival < key {
-				key = t.arrival
-			}
 		}
 	}
 	return key, true
 }
 
-// pickCore selects the runnable core with the lowest virtual-time key not
-// exceeding limit (deterministic; ties broken by core ID). It also samples
-// how many cores were simultaneously runnable — the quantity behind the
-// paper's §VIII observation that spatial synchronization leaves enough
-// independently simulatable cores to keep a multi-core host busy.
-func (d *domain) pickCore(limit vtime.Time) *Core {
-	var best *Core
-	bestKey := vtime.Inf
-	runnable := 0
+// scanRunnable is the reference scheduling decision: a linear scan over
+// the domain's cores for the runnable core with the lowest virtual-time
+// key not exceeding limit (ties broken by core ID), plus the count of
+// runnable cores within the limit. It is the semantic definition the
+// indexed queue must reproduce — kernels without an index schedule through
+// it directly, and SchedVerify replays it after every indexed pick.
+func (d *domain) scanRunnable(limit vtime.Time) (best *Core, bestKey vtime.Time, count int) {
+	bestKey = vtime.Inf
 	for _, c := range d.cores {
 		key, ok := d.runnable(c)
 		if !ok || key > limit {
 			continue
 		}
-		runnable++
+		count++
 		if best == nil || key < bestKey {
 			best = c
 			bestKey = key
 		}
+	}
+	return best, bestKey, count
+}
+
+// pickCore selects the runnable core with the lowest virtual-time key not
+// exceeding limit (deterministic; ties broken by core ID): an O(1) peek
+// at the indexed runnable queue when the domain has one, the reference
+// scan otherwise. It also samples how many cores were simultaneously
+// runnable — the quantity behind the paper's §VIII observation that
+// spatial synchronization leaves enough independently simulatable cores
+// to keep a multi-core host busy.
+func (d *domain) pickCore(limit vtime.Time) *Core {
+	var best *Core
+	var key vtime.Time
+	var runnable int
+	if d.rq != nil {
+		best, runnable = d.rq.pick(limit)
+		if best != nil {
+			key = best.schedKey
+		}
+		if d.k.schedVerify {
+			d.verifyPick(limit, best, runnable)
+		}
+	} else {
+		best, key, runnable = d.scanRunnable(limit)
 	}
 	if best != nil {
 		d.runnableSamples++
 		d.runnableSum += int64(runnable)
 		if runnable > d.runnableMax {
 			d.runnableMax = runnable
+		}
+		if d.k.onPick != nil {
+			d.k.onPick(best, key)
 		}
 	}
 	return best
@@ -155,13 +188,16 @@ func (d *domain) step(c *Core) {
 	k := d.k
 	k.steps.Add(1)
 	d.stepsTotal++
+	// While the step runs, c's clock, queues and current task are in
+	// flux; its index entry is settled by the schedUpdate at the end,
+	// before the domain consults the queue again.
+	d.stepping = c
 	t := c.current
 	switch {
 	case t != nil:
 		// Resume the stalled task in place.
 	case len(c.conts) > 0:
-		t = c.conts[0]
-		c.conts = c.conts[1:]
+		t = c.popCont()
 		// Context switch to a joining task resuming execution (§V).
 		c.vt = vtime.Max(c.vt, t.resume) + k.ctxSwitchCost
 		c.stats.Switches++
@@ -169,8 +205,7 @@ func (d *domain) step(c *Core) {
 		c.current = t
 		k.emit(TraceTaskResume, c.vt, c.ID, t, 0)
 	default:
-		t = c.ready[0]
-		c.ready = c.ready[1:]
+		t = c.popReady()
 		// Starting a task costs 10 cycles in addition to the transit time
 		// of the spawn message (§V).
 		c.vt = vtime.Max(c.vt, t.arrival) + k.taskStartCost
@@ -222,6 +257,8 @@ func (d *domain) step(c *Core) {
 		d.busy--
 	}
 	d.updateEff(c)
+	d.stepping = nil
+	d.schedUpdate(c)
 }
 
 // updateEff recomputes c's advertised effective time and propagates shadow
@@ -235,7 +272,10 @@ func (d *domain) updateEff(c *Core) {
 	k := d.k
 	if d.busy == 0 {
 		// No anchor: idle-only shadow chains have no fixpoint (each relay
-		// adds T), so everyone advertises Inf until a core wakes up.
+		// adds T), so everyone advertises Inf until a core wakes up. No
+		// runnable-index invalidation is needed here: with every owned
+		// core idle there are no stalled cores, and an idle core's
+		// runnable key never depends on effective times.
 		for _, cc := range d.cores {
 			if cc.eff != vtime.Inf {
 				cc.eff = vtime.Inf
@@ -255,12 +295,11 @@ func (d *domain) updateEff(c *Core) {
 		}
 		return
 	}
-	d.propQueue = d.propQueue[:0]
-	d.propQueue = append(d.propQueue, c.ID)
-	for len(d.propQueue) > 0 {
-		id := d.propQueue[0]
-		d.propQueue = d.propQueue[1:]
-		cc := k.cores[id]
+	// The worklist is domain scratch drained through a cursor, so the
+	// backing array is reused across calls instead of creeping forward.
+	d.propQueue = append(d.propQueue[:0], c.ID)
+	for head := 0; head < len(d.propQueue); head++ {
+		cc := k.cores[d.propQueue[head]]
 		var eff vtime.Time
 		if cc.idle {
 			eff = k.policy.IdleTime(cc)
@@ -281,6 +320,12 @@ func (d *domain) updateEff(c *Core) {
 				if nid == cc.ID {
 					if nb.nbEff[j] != eff {
 						nb.nbEff[j] = eff
+						if nb.current != nil {
+							// A moved proxy moves the stalled neighbor's
+							// horizon, which is the one runnability input
+							// not covered by queue or step updates.
+							d.schedUpdate(nb)
+						}
 						if nb.idle {
 							d.propQueue = append(d.propQueue, nbID)
 						}

@@ -111,6 +111,15 @@ type Config struct {
 	// spatial policy, 8×DefaultT otherwise). Smaller quanta tighten the
 	// cross-shard drift at the price of more barriers.
 	ShardQuantum vtime.Time
+
+	// Sched selects the scheduling implementation (see SchedMode): the
+	// default SchedAuto indexes the runnable cores in a per-domain
+	// min-heap whenever the policy's horizon is cacheable
+	// (CacheableHorizonPolicy), SchedScan forces the reference linear
+	// scan, and SchedVerify runs both side by side and panics on any
+	// divergence. The choice never affects results — pick order, traces
+	// and statistics are bit-for-bit identical either way (docs/scheduler.md).
+	Sched SchedMode
 }
 
 // DefaultT is the paper's reference maximum local drift (100 cycles).
@@ -140,6 +149,21 @@ type Kernel struct {
 	quantum   vtime.Time
 	inBarrier bool
 	pairLocal []bool // n×n: route stays inside one shard (nil if not precomputed)
+
+	// Scheduler selection (sched.go): schedIndexed arms the per-domain
+	// runnable queues, schedVerify additionally replays the reference
+	// scan after every indexed decision. onPick, when set, observes every
+	// scheduling decision (test hook; called from the worker driving the
+	// picked core's domain).
+	schedIndexed bool
+	schedVerify  bool
+	onPick       func(c *Core, key vtime.Time)
+
+	// Barrier scratch buffers, reused across rounds: the merged deferred
+	// items drained at each barrier and the worklist of the global
+	// effective-time relaxation.
+	barrierItems []deferredItem
+	effQueue     []int
 
 	steps    atomic.Int64
 	maxSteps int64
@@ -252,6 +276,9 @@ func New(cfg Config) *Kernel {
 			l1:         cache.NewScoped(cache.DefaultLineSize),
 			l2:         cache.NewL2(cache.DefaultLineSize),
 			birthCache: vtime.Inf,
+			readyMin:   vtime.Inf,
+			contsMin:   vtime.Inf,
+			schedPos:   -1,
 			rng:        rand.New(rand.NewSource(int64(splitmix64(uint64(cfg.Seed) ^ uint64(i))))),
 		}
 		c.nbEff = make([]vtime.Time, len(c.neighbors))
@@ -317,12 +344,58 @@ func (k *Kernel) setupEngine(cfg Config) {
 		c.dom = d
 		d.cores = append(d.cores, c)
 	}
+	k.setupScheduler(cfg.Sched)
 	if k.sharded {
 		k.buildPairLocal()
 	}
 	if cfg.Metrics != nil {
 		k.met = newKernelMetrics(cfg.Metrics, shards)
 		k.net.SetObserver(netObserver{k})
+	}
+}
+
+// setupScheduler resolves Config.Sched against the policy's capabilities
+// and arms the per-domain runnable queues. Indexing requires a cacheable
+// horizon (CacheableHorizonPolicy): the reference scan re-evaluates
+// Horizon for every stalled core at every decision, so a horizon that
+// reads global machine state or has side effects (RNG draws, metric
+// probes) can only be reproduced by keeping the scan.
+func (k *Kernel) setupScheduler(mode SchedMode) {
+	cacheable := false
+	if p, ok := k.policy.(CacheableHorizonPolicy); ok && p.HorizonCacheable() {
+		cacheable = true
+	}
+	k.schedIndexed = cacheable && mode != SchedScan
+	k.schedVerify = cacheable && mode == SchedVerify
+	if !k.schedIndexed {
+		return
+	}
+	for _, d := range k.domains {
+		d.rq = newRunq(d)
+	}
+}
+
+// schedRebuild recomputes every domain's runnable queue from scratch.
+// Run() calls it once before entering an engine loop; all maintenance
+// after that is incremental.
+func (k *Kernel) schedRebuild() {
+	for _, d := range k.domains {
+		if d.rq != nil {
+			d.rq.rebuild()
+		}
+	}
+}
+
+// Scheduler names the active scheduling implementation: "index",
+// "index+verify" or "scan".
+func (k *Kernel) Scheduler() string {
+	switch {
+	case k.schedVerify:
+		return "index+verify"
+	case k.schedIndexed:
+		return "index"
+	default:
+		return "scan"
 	}
 }
 
@@ -520,8 +593,9 @@ func (k *Kernel) PlaceTask(t *Task, coreID int, arrival vtime.Time, birthOwner *
 	t.arrival = arrival
 	t.state = TaskReady
 	t.env = &Env{k: k, t: t, c: c}
-	c.ready = append(c.ready, t)
+	c.pushReady(t)
 	c.dom.live++
+	c.dom.schedUpdate(c)
 	if birthOwner != nil {
 		if k.sharded && !k.inBarrier && k.part[birthOwner.ID] != k.part[coreID] {
 			id := t.ID
@@ -536,8 +610,12 @@ func (k *Kernel) PlaceTask(t *Task, coreID int, arrival vtime.Time, birthOwner *
 // runs on the spawning core.
 func (k *Kernel) clearBirth(c *Core, taskID uint64) {
 	c.removeBirth(taskID)
-	if c.current != nil && c.current.env != nil {
-		c.current.env.horizon = k.horizonFor(c)
+	if c.current != nil {
+		if c.current.env != nil {
+			c.current.env.horizon = k.horizonFor(c)
+		}
+		// A widened horizon can make a stalled spawner runnable again.
+		c.dom.schedUpdate(c)
 	}
 }
 
@@ -565,8 +643,14 @@ func (k *Kernel) SetTaskStartHook(f func(c *Core, t *Task)) { k.onTaskStart = f 
 // birthOwner).
 func (k *Kernel) RegisterBirth(c *Core, spawned *Task, stamp vtime.Time) {
 	c.addBirth(spawned.ID, stamp)
-	if c.current != nil && c.current.env != nil {
-		c.current.env.horizon = k.horizonFor(c)
+	if c.current != nil {
+		if c.current.env != nil {
+			c.current.env.horizon = k.horizonFor(c)
+		}
+		// A tightened horizon can park a stalled core (defensive: births
+		// are normally registered by the core's own running task, whose
+		// post-step update settles the entry anyway).
+		c.dom.schedUpdate(c)
 	}
 }
 
@@ -590,7 +674,8 @@ func (k *Kernel) Unblock(t *Task, at vtime.Time) {
 		delete(t.core.dom.blocked, t.ID)
 		t.state = TaskReady
 		t.resume = at
-		t.core.conts = append(t.core.conts, t)
+		t.core.pushCont(t)
+		t.core.dom.schedUpdate(t.core)
 	case TaskRunning:
 		// The wake-up raced ahead of the Block call (handlers run
 		// synchronously); record it so Block returns immediately.
@@ -677,6 +762,7 @@ type Result struct {
 // task transitively created) has finished. It returns an error on deadlock
 // or when a task panicked.
 func (k *Kernel) Run() (Result, error) {
+	k.schedRebuild()
 	if k.sharded {
 		return k.runShard()
 	}

@@ -50,6 +50,12 @@ func (s Spatial) Name() string { return "spatial" }
 // neighbor proxies and local birth stamps.
 func (s Spatial) ShardLocal() bool { return true }
 
+// HorizonCacheable implements CacheableHorizonPolicy: the spatial horizon
+// is a pure function of the core's neighbor proxies, birth stamps and
+// lock depth — exactly the inputs the indexed scheduler invalidates on —
+// so it may be cached between those events.
+func (s Spatial) HorizonCacheable() bool { return true }
+
 // Horizon implements Policy.
 func (s Spatial) Horizon(c *Core) vtime.Time {
 	if c.lockDepth > 0 {

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"simany/internal/network"
+	"simany/internal/topology"
+	"simany/internal/vtime"
+)
+
+// Scheduler-equivalence property suite (docs/scheduler.md): a seeded
+// random workload of spawns, request/reply blocking, wake-ups, lock
+// sections and spatial stalls is run once on the reference scan and once
+// on the indexed runnable queue, and the exact per-domain (core, key)
+// pick sequences must match. The same workloads also run under
+// SchedVerify, which replays the scan after every indexed decision inside
+// the kernel itself. CI runs this file under the race detector.
+
+const (
+	kindEquivEcho network.Kind = 240 + iota
+	kindEquivWake
+	kindEquivSpawn
+)
+
+type equivSpawn struct {
+	task  *Task
+	birth *Core
+}
+
+// pickRec is one observed scheduling decision.
+type pickRec struct {
+	Core int
+	Key  vtime.Time
+}
+
+// equivWorkload injects a randomized task soup derived from seed. Every
+// decision inside task bodies draws from RNGs seeded by (seed, core/task),
+// never from host state, so two kernels with equal (seed, shards) run the
+// same program regardless of scheduler implementation.
+func equivWorkload(k *Kernel, seed int64, tasks int) {
+	n := k.NumCores()
+	k.Handle(kindEquivEcho, func(k *Kernel, msg network.Message) {
+		// Reply after a small handling cost; the requester blocks on it.
+		req := msg.Payload.(*Task)
+		k.SendAt(msg.Dst, req.core.ID, kindEquivWake, 8, req,
+			msg.Arrival+vtime.CyclesInt(3))
+	})
+	k.Handle(kindEquivWake, func(k *Kernel, msg network.Message) {
+		k.Unblock(msg.Payload.(*Task), msg.Arrival)
+	})
+	k.Handle(kindEquivSpawn, func(k *Kernel, msg network.Message) {
+		sp := msg.Payload.(equivSpawn)
+		k.PlaceTask(sp.task, msg.Dst, msg.Arrival, sp.birth)
+	})
+
+	var body func(depth int, taskSeed int64) func(*Env)
+	body = func(depth int, taskSeed int64) func(*Env) {
+		return func(e *Env) {
+			rng := rand.New(rand.NewSource(taskSeed))
+			rounds := 2 + rng.Intn(4)
+			for i := 0; i < rounds; i++ {
+				e.ComputeCycles(float64(1 + rng.Intn(220)))
+				switch rng.Intn(5) {
+				case 0: // request/reply block (may hit the pendingWake path)
+					dst := rng.Intn(n)
+					e.Send(dst, kindEquivEcho, 16, e.Task())
+					e.Block()
+				case 1: // lock-holder exemption window
+					e.AcquireLockExempt()
+					e.ComputeCycles(float64(1 + rng.Intn(150)))
+					e.ReleaseLockExempt()
+				case 2: // spawn a child elsewhere, with a birth entry
+					if depth < 2 {
+						me := e.CoreID()
+						child := k.NewTask(me, fmt.Sprintf("c%d", taskSeed),
+							body(depth+1, taskSeed*31+int64(i)+7), nil)
+						k.RegisterBirth(k.Core(me), child, e.Now())
+						e.Send(rng.Intn(n), kindEquivSpawn, 24,
+							equivSpawn{task: child, birth: k.Core(me)})
+					}
+				case 3: // cooperative yield (re-enters the scheduler)
+					e.Yield()
+				default: // plain compute burst
+					e.ComputeCycles(float64(1 + rng.Intn(60)))
+				}
+			}
+		}
+	}
+
+	root := rand.New(rand.NewSource(seed))
+	for i := 0; i < tasks; i++ {
+		core := root.Intn(n)
+		at := vtime.CyclesInt(int64(root.Intn(400)))
+		k.InjectTask(core, fmt.Sprintf("t%d", i), body(0, seed*97+int64(i)), nil, at)
+	}
+}
+
+// runEquiv executes the workload under the given scheduler mode and
+// returns the per-domain pick sequences and the Result. Pick order is
+// only deterministic within a domain (workers interleave domains), so
+// sequences are recorded and compared per shard.
+func runEquiv(t *testing.T, topo *topology.Topology, shards, workers int, seed int64, mode SchedMode) ([][]pickRec, Result, string) {
+	t.Helper()
+	k := New(Config{
+		Topo:    topo,
+		Policy:  Spatial{T: DefaultT},
+		Seed:    seed,
+		Shards:  shards,
+		Workers: workers,
+		Sched:   mode,
+	})
+	picks := make([][]pickRec, k.NumShards())
+	k.onPick = func(c *Core, key vtime.Time) {
+		d := c.dom.id
+		picks[d] = append(picks[d], pickRec{Core: c.ID, Key: key})
+	}
+	equivWorkload(k, seed, 3*k.NumCores()/2)
+	res, err := k.Run()
+	if err != nil {
+		t.Fatalf("mode %v shards=%d: %v", mode, shards, err)
+	}
+	return picks, res, k.Scheduler()
+}
+
+func TestSchedulerEquivalenceRandom(t *testing.T) {
+	topos := []struct {
+		name string
+		topo func() *topology.Topology
+	}{
+		{"mesh25", func() *topology.Topology { return topology.Mesh(25) }},
+		{"clustered24", func() *topology.Topology {
+			return topology.Clustered(24, topology.DefaultClusteredParams(4))
+		}},
+	}
+	engines := []struct {
+		name            string
+		shards, workers int
+	}{
+		{"seq", 1, 1},
+		{"sharded4x3", 4, 3},
+	}
+	for _, tc := range topos {
+		for _, eng := range engines {
+			for _, seed := range []int64{1, 7, 23} {
+				name := fmt.Sprintf("%s/%s/seed%d", tc.name, eng.name, seed)
+				t.Run(name, func(t *testing.T) {
+					scanPicks, scanRes, scanName := runEquiv(t, tc.topo(), eng.shards, eng.workers, seed, SchedScan)
+					if scanName != "scan" {
+						t.Fatalf("baseline scheduler = %q, want scan", scanName)
+					}
+					total := 0
+					for _, p := range scanPicks {
+						total += len(p)
+					}
+					// A degenerate workload would make the comparison vacuous;
+					// every task needs at least one scheduling decision.
+					if min := 3 * 24 / 2; total < min {
+						t.Fatalf("only %d scheduling decisions recorded, want >= %d", total, min)
+					}
+					idxPicks, idxRes, idxName := runEquiv(t, tc.topo(), eng.shards, eng.workers, seed, SchedAuto)
+					if idxName != "index" {
+						t.Fatalf("scheduler = %q, want index (spatial horizons are cacheable)", idxName)
+					}
+					if !reflect.DeepEqual(idxRes, scanRes) {
+						t.Errorf("Result diverged:\n  index %+v\n  scan  %+v", idxRes, scanRes)
+					}
+					for d := range scanPicks {
+						if len(idxPicks[d]) != len(scanPicks[d]) {
+							t.Fatalf("domain %d: %d indexed picks, %d scan picks",
+								d, len(idxPicks[d]), len(scanPicks[d]))
+						}
+						for i := range scanPicks[d] {
+							if idxPicks[d][i] != scanPicks[d][i] {
+								t.Fatalf("domain %d pick %d: index chose %+v, scan chose %+v",
+									d, i, idxPicks[d][i], scanPicks[d][i])
+							}
+						}
+					}
+					// Belt and braces: the same run under SchedVerify has the
+					// kernel itself replay the scan after every indexed
+					// decision (and at every shard round setup) and panic on
+					// the first divergence.
+					_, verifyRes, verifyName := runEquiv(t, tc.topo(), eng.shards, eng.workers, seed, SchedVerify)
+					if verifyName != "index+verify" {
+						t.Fatalf("scheduler = %q, want index+verify", verifyName)
+					}
+					if !reflect.DeepEqual(verifyRes, scanRes) {
+						t.Errorf("verify-mode Result diverged:\n  verify %+v\n  scan   %+v", verifyRes, scanRes)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSchedulerEquivalenceValidated reruns one seed per engine with a
+// ValidatingTracer, so every trace event additionally checks the queue
+// minima caches and the structural invariants of the runnable index
+// (Kernel.Validate) during a live randomized run.
+func TestSchedulerEquivalenceValidated(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			k := New(Config{
+				Topo:    topology.Mesh(16),
+				Policy:  Spatial{T: DefaultT},
+				Seed:    5,
+				Shards:  shards,
+				Workers: 2,
+				Sched:   SchedVerify,
+			})
+			k.SetTracer(&ValidatingTracer{K: k, Interval: 1})
+			equivWorkload(k, 5, 24)
+			if _, err := k.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -49,14 +50,7 @@ func (k *Kernel) runShard() (Result, error) {
 			k.flushTrace()
 			return Result{}, fmt.Errorf("core: exceeded %d scheduling steps", k.maxSteps)
 		}
-		minKey := vtime.Inf
-		for _, d := range k.domains {
-			for _, c := range d.cores {
-				if key, ok := d.runnable(c); ok && key < minKey {
-					minKey = key
-				}
-			}
-		}
+		minKey := k.minRunnableKey()
 		if minKey == vtime.Inf {
 			if k.liveTasks() == 0 {
 				return k.result(), nil
@@ -80,6 +74,40 @@ func (k *Kernel) runShard() (Result, error) {
 			}
 		}
 	}
+}
+
+// minRunnableKey returns the globally minimal runnable virtual-time key —
+// the anchor of the next round's window. With the indexed scheduler this
+// is a peek over the per-domain heap heads, O(shards) instead of a full
+// machine scan; barriers run the queues' invalidation hooks (drained
+// items, effective-time refresh) before this is called, so every head is
+// settled. SchedVerify cross-checks each head against the domain's
+// reference scan.
+func (k *Kernel) minRunnableKey() vtime.Time {
+	minKey := vtime.Inf
+	for _, d := range k.domains {
+		if d.rq == nil {
+			if _, key, n := d.scanRunnable(vtime.Inf); n > 0 && key < minKey {
+				minKey = key
+			}
+			continue
+		}
+		head := d.rq.peek()
+		if k.schedVerify {
+			sBest, sKey, _ := d.scanRunnable(vtime.Inf)
+			switch {
+			case (head == nil) != (sBest == nil):
+				panic(fmt.Sprintf("core: scheduler divergence in domain %d round setup: index head %v, scan head %v", d.id, head, sBest))
+			case head != nil && (head != sBest || head.schedKey != sKey):
+				panic(fmt.Sprintf("core: scheduler divergence in domain %d round setup: index head core %d key %v, scan head core %d key %v",
+					d.id, head.ID, head.schedKey, sBest.ID, sKey))
+			}
+		}
+		if head != nil && head.schedKey < minKey {
+			minKey = head.schedKey
+		}
+	}
+	return minKey
 }
 
 // runRound executes one bounded scheduling round on every domain,
@@ -144,25 +172,27 @@ func (d *domain) runLocal(limit vtime.Time) {
 //
 //simany:barrier
 func (k *Kernel) drainBarrier() {
-	var items []deferredItem
+	// The merge buffer is kernel scratch, reused across rounds so steady
+	// state allocates nothing.
+	items := k.barrierItems[:0]
 	for _, d := range k.domains {
 		items = append(items, d.outbox...)
 		d.outbox = d.outbox[:0]
 	}
 	if len(items) == 0 {
+		k.barrierItems = items
 		return
 	}
 	// (stamp, src, idx) is a total order: src fixes the producing outbox
 	// and idx is the unique append position within it.
-	sort.Slice(items, func(i, j int) bool {
-		a, b := &items[i], &items[j]
-		if a.stamp != b.stamp {
-			return a.stamp < b.stamp
+	slices.SortFunc(items, func(a, b deferredItem) int {
+		if c := cmp.Compare(a.stamp, b.stamp); c != 0 {
+			return c
 		}
-		if a.src != b.src {
-			return a.src < b.src
+		if c := cmp.Compare(a.src, b.src); c != 0 {
+			return c
 		}
-		return a.idx < b.idx
+		return cmp.Compare(a.idx, b.idx)
 	})
 	k.inBarrier = true
 	for i := range items {
@@ -178,6 +208,10 @@ func (k *Kernel) drainBarrier() {
 		}
 	}
 	k.inBarrier = false
+	// Drop payload and closure references before the next round so the
+	// reused backing array does not pin handled items for the GC.
+	clear(items)
+	k.barrierItems = items[:0]
 }
 
 // refreshEff rebuilds every core's advertised effective time and all
@@ -207,21 +241,32 @@ func (k *Kernel) refreshEff() {
 		}
 	}
 	for _, c := range k.cores {
+		changed := false
 		for j, nbID := range c.neighbors {
-			c.nbEff[j] = k.cores[nbID].eff
+			if e := k.cores[nbID].eff; c.nbEff[j] != e {
+				c.nbEff[j] = e
+				changed = true
+			}
+		}
+		if changed && c.current != nil {
+			// Unfrozen cross-shard proxies move the stalled core's
+			// horizon; re-evaluate its queue entry (the only runnability
+			// input not already settled by step/queue hooks).
+			c.dom.schedUpdate(c)
 		}
 	}
 	// Downward-only relaxation: order-independent, so any worklist order
-	// yields the same fixpoint.
-	var queue []int
+	// yields the same fixpoint. The worklist is kernel scratch reused
+	// across barriers, drained through a cursor so the backing array
+	// survives intact for the next round.
+	queue := k.effQueue[:0]
 	for _, c := range k.cores {
 		if c.idle {
 			queue = append(queue, c.ID)
 		}
 	}
-	for len(queue) > 0 {
-		c := k.cores[queue[0]]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		c := k.cores[queue[head]]
 		e := k.policy.IdleTime(c)
 		if e >= c.eff {
 			continue
@@ -235,9 +280,13 @@ func (k *Kernel) refreshEff() {
 					break
 				}
 			}
+			if nb.current != nil {
+				nb.dom.schedUpdate(nb)
+			}
 			if nb.idle {
 				queue = append(queue, nbID)
 			}
 		}
 	}
+	k.effQueue = queue[:0]
 }

@@ -15,6 +15,11 @@ import (
 //   - every neighbor-proxy entry mirrors the neighbor's advertised time;
 //   - a busy core never advertises a time ahead of its own clock;
 //   - the cached minimum birth stamp matches the birth map;
+//   - the cached queue minima (ready arrivals, continuation resumes)
+//     match a recomputation from the queues;
+//   - with the indexed scheduler active: heap positions, heap order and
+//     queue membership/keys agree with the reference runnable computation
+//     (the mid-step core excepted — its entry settles at step end);
 //   - lock depths are non-negative;
 //   - task states are consistent with the queue each task sits in;
 //   - the busy-core counter matches the per-core idle flags;
@@ -56,6 +61,24 @@ func (k *Kernel) Validate() error {
 		if got := c.minBirth(); got != min {
 			return fmt.Errorf("core %d: birth cache %v, map minimum %v", c.ID, got, min)
 		}
+		rm := vtime.Inf
+		for _, t := range c.ready {
+			if t.arrival < rm {
+				rm = t.arrival
+			}
+		}
+		if got := c.minReadyArrival(); got != rm {
+			return fmt.Errorf("core %d: ready-min cache %v, queue minimum %v", c.ID, got, rm)
+		}
+		cm := vtime.Inf
+		for _, t := range c.conts {
+			if t.resume < cm {
+				cm = t.resume
+			}
+		}
+		if got := c.minContResume(); got != cm {
+			return fmt.Errorf("core %d: conts-min cache %v, queue minimum %v", c.ID, got, cm)
+		}
 		if c.current != nil && c.current.state != TaskRunning {
 			return fmt.Errorf("core %d: current task %q in state %d", c.ID, c.current.Name, c.current.state)
 		}
@@ -82,6 +105,11 @@ func (k *Kernel) Validate() error {
 			if t.state != TaskBlocked {
 				return fmt.Errorf("blocked registry holds task %d in state %d", id, t.state)
 			}
+		}
+	}
+	for _, d := range k.domains {
+		if err := d.checkRunq(); err != nil {
+			return err
 		}
 	}
 	// With barrier validation armed (EnableBarrierValidation), surface any
