@@ -1,0 +1,170 @@
+// Command benchguard turns `go test -bench` output into a CI gate and a
+// job summary. It reads benchmark output on stdin, extracts allocs/op and
+// the simulator's custom steps/sec metric per sub-benchmark, compares
+// allocs/op against the ceilings checked in under "alloc_guard" in a
+// baseline JSON file (BENCH_hotpath.json), and exits non-zero when any
+// sub-benchmark exceeds its ceiling by more than the tolerance. A markdown
+// table is appended to $GITHUB_STEP_SUMMARY when that variable is set (the
+// GitHub Actions job-summary protocol), and always printed to stdout.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkHotPath -benchmem -benchtime 1x | \
+//	    go run ./cmd/benchguard -baseline BENCH_hotpath.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// baselineFile is the subset of BENCH_hotpath.json benchguard consumes.
+type baselineFile struct {
+	Benchmark  string `json:"benchmark"`
+	AllocGuard struct {
+		MaxAllocsPerOp map[string]float64 `json:"max_allocs_per_op"`
+	} `json:"alloc_guard"`
+}
+
+// measurement is one parsed sub-benchmark result.
+type measurement struct {
+	name        string // sub-benchmark name ("seq", "sharded")
+	allocsPerOp float64
+	stepsPerSec float64
+	nsPerOp     float64
+}
+
+// parseBench extracts measurements for sub-benchmarks of the given parent
+// benchmark from `go test -bench` output. Lines look like
+//
+//	BenchmarkHotPath/seq-4  3  9766662 ns/op  344304 steps/sec  18750 allocs/op
+//
+// where the "-4" GOMAXPROCS suffix is optional and value/unit pairs come in
+// any order.
+func parseBench(r io.Reader, parent string) ([]measurement, error) {
+	var out []measurement
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], parent+"/") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], parent+"/")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the GOMAXPROCS suffix
+			}
+		}
+		m := measurement{name: name}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchguard: bad value %q in line %q", fields[i], sc.Text())
+			}
+			switch fields[i+1] {
+			case "allocs/op":
+				m.allocsPerOp = v
+			case "steps/sec":
+				m.stepsPerSec = v
+			case "ns/op":
+				m.nsPerOp = v
+			}
+		}
+		out = append(out, m)
+	}
+	return out, sc.Err()
+}
+
+// check compares measurements against ceilings and renders the summary
+// table. It returns the markdown and the list of failures.
+func check(ms []measurement, ceilings map[string]float64, tolerance float64) (string, []string) {
+	var b strings.Builder
+	var failures []string
+	b.WriteString("### Hot-path benchmark\n\n")
+	b.WriteString("| bench | steps/sec | allocs/op | ceiling (+tolerance) | status |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	seen := make(map[string]bool)
+	for _, m := range ms {
+		seen[m.name] = true
+		ceiling, guarded := ceilings[m.name]
+		status := "—"
+		limit := "—"
+		if guarded {
+			max := ceiling * (1 + tolerance)
+			limit = fmt.Sprintf("%.0f (%.0f)", ceiling, max)
+			if m.allocsPerOp > max {
+				status = "❌ regression"
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.0f allocs/op exceeds ceiling %.0f by more than %.0f%%",
+					m.name, m.allocsPerOp, ceiling, tolerance*100))
+			} else {
+				status = "✅"
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %.0f | %.0f | %s | %s |\n",
+			m.name, m.stepsPerSec, m.allocsPerOp, limit, status)
+	}
+	for name := range ceilings {
+		if !seen[name] {
+			failures = append(failures, fmt.Sprintf("%s: guarded sub-benchmark missing from output", name))
+		}
+	}
+	return b.String(), failures
+}
+
+func run(in io.Reader, baselinePath, parent string, tolerance float64) (string, error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return "", err
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return "", fmt.Errorf("benchguard: %s: %w", baselinePath, err)
+	}
+	if parent == "" {
+		parent = base.Benchmark
+	}
+	if len(base.AllocGuard.MaxAllocsPerOp) == 0 {
+		return "", fmt.Errorf("benchguard: %s has no alloc_guard ceilings", baselinePath)
+	}
+	ms, err := parseBench(in, parent)
+	if err != nil {
+		return "", err
+	}
+	if len(ms) == 0 {
+		return "", fmt.Errorf("benchguard: no %s/* results on stdin", parent)
+	}
+	md, failures := check(ms, base.AllocGuard.MaxAllocsPerOp, tolerance)
+	if len(failures) > 0 {
+		return md, fmt.Errorf("benchguard: %s", strings.Join(failures, "; "))
+	}
+	return md, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_hotpath.json", "baseline JSON with alloc_guard ceilings")
+	parent := flag.String("bench", "", "parent benchmark name (default: \"benchmark\" field of the baseline)")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional allocs/op overshoot")
+	flag.Parse()
+
+	md, err := run(os.Stdin, *baseline, *parent, *tolerance)
+	if md != "" {
+		fmt.Print(md)
+		if path := os.Getenv("GITHUB_STEP_SUMMARY"); path != "" {
+			if f, ferr := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644); ferr == nil {
+				f.WriteString(md)
+				f.Close()
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

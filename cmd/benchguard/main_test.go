@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: simany
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkHotPath/seq         	       3	   9766662 ns/op	      2159 spawns/op	    344304 steps/sec	   7685068 wall-ns/op	 1416664 B/op	   18750 allocs/op
+BenchmarkHotPath/sharded-4   	       3	  16906173 ns/op	      2929 spawns/op	    341135 steps/sec	  15005810 wall-ns/op	 1998101 B/op	   29317 allocs/op
+PASS
+ok  	simany	0.106s
+`
+
+func TestParseBench(t *testing.T) {
+	ms, err := parseBench(strings.NewReader(sampleOutput), "BenchmarkHotPath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("parsed %d measurements, want 2: %+v", len(ms), ms)
+	}
+	if ms[0].name != "seq" || ms[0].allocsPerOp != 18750 || ms[0].stepsPerSec != 344304 {
+		t.Errorf("seq parsed as %+v", ms[0])
+	}
+	// The -4 GOMAXPROCS suffix must be stripped.
+	if ms[1].name != "sharded" || ms[1].allocsPerOp != 29317 {
+		t.Errorf("sharded parsed as %+v", ms[1])
+	}
+}
+
+func TestCheckPassAndFail(t *testing.T) {
+	ms, err := parseBench(strings.NewReader(sampleOutput), "BenchmarkHotPath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ceilings := map[string]float64{"seq": 18750, "sharded": 29317}
+
+	md, failures := check(ms, ceilings, 0.20)
+	if len(failures) != 0 {
+		t.Fatalf("at-ceiling run failed: %v", failures)
+	}
+	if !strings.Contains(md, "| seq |") || !strings.Contains(md, "✅") {
+		t.Errorf("summary table malformed:\n%s", md)
+	}
+
+	// 20% tolerance: a ceiling set 25% below the measurement must fail.
+	tight := map[string]float64{"seq": 15000, "sharded": 29317}
+	_, failures = check(ms, tight, 0.20)
+	if len(failures) != 1 || !strings.Contains(failures[0], "seq") {
+		t.Errorf("regression not flagged: %v", failures)
+	}
+
+	// A guarded sub-benchmark missing from the output is a failure too.
+	_, failures = check(ms[:1], ceilings, 0.20)
+	if len(failures) != 1 || !strings.Contains(failures[0], "sharded") {
+		t.Errorf("missing sub-benchmark not flagged: %v", failures)
+	}
+}
+
+func TestRunAgainstBaselineFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	baseline := `{
+	  "benchmark": "BenchmarkHotPath",
+	  "alloc_guard": {"max_allocs_per_op": {"seq": 18750, "sharded": 29317}}
+	}`
+	if err := os.WriteFile(path, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	md, err := run(strings.NewReader(sampleOutput), path, "", 0.20)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if !strings.Contains(md, "sharded") {
+		t.Errorf("summary missing sharded row:\n%s", md)
+	}
+	if _, err := run(strings.NewReader("no benchmarks here\n"), path, "", 0.20); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+// TestRepoBaselineParses keeps the checked-in BENCH_hotpath.json loadable
+// by the guard.
+func TestRepoBaselineParses(t *testing.T) {
+	if _, err := os.Stat("../../BENCH_hotpath.json"); err != nil {
+		t.Skip("baseline not present")
+	}
+	_, err := run(strings.NewReader(sampleOutput), "../../BENCH_hotpath.json", "", 0.20)
+	if err != nil {
+		t.Fatalf("checked-in baseline rejected: %v", err)
+	}
+}

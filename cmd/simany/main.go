@@ -183,6 +183,9 @@ func execute(b bench.Benchmark, m config.Machine, mode bench.Mode, seed int64, s
 	if verbose {
 		fmt.Printf("scheduler        %s\n", k.Scheduler())
 		fmt.Printf("kernel steps     %d\n", res.Steps)
+		if secs := simWall.Seconds(); secs > 0 {
+			fmt.Printf("throughput       %.0f steps/sec host\n", float64(res.Steps)/secs)
+		}
 		fmt.Printf("messages         %d (%d bytes, %d hops, %d handled out of order)\n",
 			res.Messages, res.Bytes, res.Hops, res.OutOfOrder)
 		fmt.Printf("policy stalls    %d\n", res.Stalls)

@@ -57,6 +57,15 @@ type domain struct {
 	roundSteps int
 	stepsTotal int64
 
+	// Goroutine/struct pools for the task lifecycle hot path. Both are
+	// owned-state in the shard-safety sense: pushed in step's yieldDone
+	// branch and popped in startTask/NewTask, which all run in the owning
+	// domain's execution context (or the single-threaded barrier). Worker
+	// and Task pointer identity never feeds a scheduling decision, so
+	// recycling cannot perturb determinism.
+	freeWorkers []*taskWorker
+	freeTasks   []*Task
+
 	// Per-shard trace buffer: events emitted while this domain executes
 	// (or, inside a barrier, events whose core this domain owns) are
 	// appended here lock-free and merged deterministically by
@@ -223,11 +232,11 @@ func (d *domain) step(c *Core) {
 	}
 	d.updateEff(c)
 
-	// Hand control to the task goroutine until it yields.
+	// Hand control to the task's worker goroutine until it yields.
 	t.env.horizon = k.horizonFor(c)
 	if !t.started {
 		t.started = true
-		go t.main()
+		d.startTask(t)
 	} else {
 		t.cont <- struct{}{}
 	}
@@ -243,6 +252,7 @@ func (d *domain) step(c *Core) {
 			d.maxTime = c.vt
 		}
 		k.emit(TraceTaskEnd, c.vt, c.ID, t, 0)
+		d.releaseWorker(t)
 	case yieldBlocked:
 		t.state = TaskBlocked
 		d.blocked[t.ID] = t
@@ -259,6 +269,41 @@ func (d *domain) step(c *Core) {
 	d.updateEff(c)
 	d.stepping = nil
 	d.schedUpdate(c)
+}
+
+// startTask hands a fresh task its first execution slice: on a parked
+// worker from the domain's free pool (LIFO, for cache warmth) when one is
+// available, on a newly spawned worker otherwise.
+func (d *domain) startTask(t *Task) {
+	if n := len(d.freeWorkers); n > 0 {
+		w := d.freeWorkers[n-1]
+		d.freeWorkers[n-1] = nil
+		d.freeWorkers = d.freeWorkers[:n-1]
+		w.task = t
+		t.worker = w
+		t.cont = w.cont
+		// The worker is parked in (or en route to) <-w.cont; the unbuffered
+		// send both wakes it and orders the w.task write above.
+		w.cont <- struct{}{}
+		return
+	}
+	w := &taskWorker{cont: make(chan struct{}), task: t}
+	t.worker = w
+	t.cont = w.cont
+	go w.loop()
+}
+
+// releaseWorker returns a finished task's worker to the pool and, if the
+// task opted in via ReleaseOnDone, recycles its struct too. References held
+// by the retired struct (body closure, Meta payload) are dropped so the
+// pool never pins user data. Runs in the yieldDone branch of step — the
+// owning domain's execution context.
+func (d *domain) releaseWorker(t *Task) {
+	d.freeWorkers = append(d.freeWorkers, t.worker)
+	if t.release {
+		*t = Task{}
+		d.freeTasks = append(d.freeTasks, t)
+	}
 }
 
 // updateEff recomputes c's advertised effective time and propagates shadow

@@ -329,6 +329,7 @@ func (k *Kernel) setupEngine(cfg Config) {
 	}
 
 	k.part = topology.Partition(k.topo, shards)
+	k.net.SetStripes(shards, k.part)
 	k.domains = make([]*domain, shards)
 	for s := 0; s < shards; s++ {
 		k.domains[s] = &domain{
@@ -566,16 +567,24 @@ func (k *Kernel) Defer(src int, stamp vtime.Time, fn func()) {
 // execution context — deterministic at every worker count, so task IDs in
 // trace streams are stable. Their numeric order is still not meaningful
 // under sharded execution.
+//
+// The struct comes from the spawner's domain pool when a ReleaseOnDone
+// task has retired there (fully reset under the new identity); pool reuse
+// never influences scheduling, so recycled and fresh tasks behave
+// identically.
 func (k *Kernel) NewTask(spawner int, name string, fn func(*Env), meta any) *Task {
 	c := k.cores[spawner]
 	c.taskSeq++
-	return &Task{
-		ID:   c.taskSeq*uint64(len(k.cores)) + uint64(spawner) + 1,
-		Name: name,
-		Meta: meta,
-		fn:   fn,
-		cont: make(chan struct{}),
+	id := c.taskSeq*uint64(len(k.cores)) + uint64(spawner) + 1
+	d := c.dom
+	if n := len(d.freeTasks); n > 0 {
+		t := d.freeTasks[n-1]
+		d.freeTasks[n-1] = nil
+		d.freeTasks = d.freeTasks[:n-1]
+		t.ID, t.Name, t.Meta, t.fn = id, name, meta, fn
+		return t
 	}
+	return &Task{ID: id, Name: name, Meta: meta, fn: fn}
 }
 
 // PlaceTask queues task t on core as a fresh ready task that may start at
@@ -592,7 +601,7 @@ func (k *Kernel) PlaceTask(t *Task, coreID int, arrival vtime.Time, birthOwner *
 	t.core = c
 	t.arrival = arrival
 	t.state = TaskReady
-	t.env = &Env{k: k, t: t, c: c}
+	t.env = Env{k: k, t: t, c: c}
 	c.pushReady(t)
 	c.dom.live++
 	c.dom.schedUpdate(c)
@@ -611,9 +620,7 @@ func (k *Kernel) PlaceTask(t *Task, coreID int, arrival vtime.Time, birthOwner *
 func (k *Kernel) clearBirth(c *Core, taskID uint64) {
 	c.removeBirth(taskID)
 	if c.current != nil {
-		if c.current.env != nil {
-			c.current.env.horizon = k.horizonFor(c)
-		}
+		c.current.env.horizon = k.horizonFor(c)
 		// A widened horizon can make a stalled spawner runnable again.
 		c.dom.schedUpdate(c)
 	}
@@ -644,9 +651,7 @@ func (k *Kernel) SetTaskStartHook(f func(c *Core, t *Task)) { k.onTaskStart = f 
 func (k *Kernel) RegisterBirth(c *Core, spawned *Task, stamp vtime.Time) {
 	c.addBirth(spawned.ID, stamp)
 	if c.current != nil {
-		if c.current.env != nil {
-			c.current.env.horizon = k.horizonFor(c)
-		}
+		c.current.env.horizon = k.horizonFor(c)
 		// A tightened horizon can park a stalled core (defensive: births
 		// are normally registered by the core's own running task, whose
 		// post-step update settles the entry anyway).
@@ -762,11 +767,28 @@ type Result struct {
 // task transitively created) has finished. It returns an error on deadlock
 // or when a task panicked.
 func (k *Kernel) Run() (Result, error) {
+	defer k.stopWorkers()
 	k.schedRebuild()
 	if k.sharded {
 		return k.runShard()
 	}
 	return k.runSeq()
+}
+
+// stopWorkers retires the parked worker goroutines pooled on each domain so
+// a completed run leaves nothing behind. Workers still attached to blocked
+// tasks (deadlock and panic paths) stay parked exactly like the per-task
+// goroutines they replaced. Runs single-threaded, after the engine loop has
+// exited.
+func (k *Kernel) stopWorkers() {
+	for _, d := range k.domains {
+		for i, w := range d.freeWorkers {
+			w.task = nil
+			w.cont <- struct{}{}
+			d.freeWorkers[i] = nil
+		}
+		d.freeWorkers = d.freeWorkers[:0]
+	}
 }
 
 func (k *Kernel) liveTasks() int64 {

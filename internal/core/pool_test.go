@@ -1,0 +1,227 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"simany/internal/network"
+	"simany/internal/topology"
+)
+
+const (
+	kindChurnSpawn network.Kind = 97
+	kindChurnDone  network.Kind = 98
+)
+
+// churnKernel builds a 16-core mesh kernel whose workload continuously
+// creates short-lived tasks through a spawn handler: each root loops,
+// shipping a spawn request to a neighbor whose handler places a pooled
+// (ReleaseOnDone) child there, then blocks until the child's completion
+// message wakes it — so task creation and retirement interleave at steady
+// state, exactly the pattern the pools are built for. This exercises the
+// whole pooled lifecycle — worker reuse, task-struct recycling and the
+// network hot path — on both engines.
+func churnKernel(shards, workers, rounds int) *Kernel {
+	k := New(Config{Topo: topology.Mesh(16), Policy: Spatial{T: DefaultT},
+		Seed: 3, Shards: shards, Workers: workers})
+	childFn := func(e *Env) {
+		e.ComputeCycles(15)
+		parent := e.Task().Meta.(*Task)
+		e.Send(parent.Core().ID, kindChurnDone, 8, parent)
+	}
+	k.Handle(kindChurnDone, func(k *Kernel, msg network.Message) {
+		k.Unblock(msg.Payload.(*Task), msg.Arrival)
+	})
+	k.Handle(kindChurnSpawn, func(k *Kernel, msg network.Message) {
+		t := k.NewTask(msg.Dst, "child", childFn, msg.Payload).ReleaseOnDone()
+		k.PlaceTask(t, msg.Dst, msg.Arrival, nil)
+	})
+	for c := 0; c < 16; c++ {
+		c := c
+		k.InjectTask(c, "root", func(e *Env) {
+			for i := 0; i < rounds; i++ {
+				e.ComputeCycles(float64(5 + c%4))
+				e.Send((c+1)%16, kindChurnSpawn, 32, e.Task())
+				e.Block()
+			}
+		}, nil, 0)
+	}
+	return k
+}
+
+// TestTaskPoolRecyclesStructs: ReleaseOnDone tasks must actually flow back
+// through the domain pools — churning far more tasks than stay live at once
+// must not grow the task-struct population linearly.
+func TestTaskPoolRecyclesStructs(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		k := churnKernel(shards, 1, 50)
+		if _, err := k.Run(); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		pooled := 0
+		for _, d := range k.domains {
+			pooled += len(d.freeTasks)
+			if len(d.freeWorkers) != 0 {
+				t.Errorf("shards=%d: %d workers left pooled after Run", shards, len(d.freeWorkers))
+			}
+		}
+		if pooled == 0 {
+			t.Errorf("shards=%d: no task structs recycled by a churn workload", shards)
+		}
+		// 16 roots × 50 spawn rounds ran 800 children; the pool must hold
+		// far fewer structs than tasks that existed.
+		if pooled > 200 {
+			t.Errorf("shards=%d: pool holds %d structs — recycling is not reusing them", shards, pooled)
+		}
+	}
+}
+
+// TestTaskHandleSafeWithoutRelease: tasks that did not opt into recycling
+// keep a stable, readable handle after completion even while pooled tasks
+// churn around them (the regression pooling must never introduce).
+func TestTaskHandleSafeWithoutRelease(t *testing.T) {
+	k := churnKernel(4, 1, 30)
+	done := k.InjectTask(2, "witness", func(e *Env) {
+		e.ComputeCycles(100)
+	}, "meta-payload", 0)
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done.State() != TaskDone {
+		t.Errorf("witness state = %v, want done", done.State())
+	}
+	if done.EndVT() <= 0 {
+		t.Errorf("witness EndVT = %v, want > 0", done.EndVT())
+	}
+	if done.Name != "witness" || done.Meta != "meta-payload" {
+		t.Errorf("witness identity mutated: %q %v", done.Name, done.Meta)
+	}
+}
+
+// TestWorkerPoolShutdown: a completed Run must not leave parked worker
+// goroutines behind.
+func TestWorkerPoolShutdown(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		k := churnKernel(4, 2, 20)
+		if _, err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Exited goroutines are reaped asynchronously; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+2 || time.Now().After(deadline) {
+			if g > before+2 {
+				t.Errorf("goroutines grew %d -> %d: pooled workers leaked", before, g)
+			}
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// allocsPerStep runs the churn workload and reports host heap allocations
+// per scheduling step.
+func allocsPerStep(t *testing.T, shards, workers int) float64 {
+	t.Helper()
+	k := churnKernel(shards, workers, 60)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	res, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	if res.Steps == 0 {
+		t.Fatal("no steps")
+	}
+	return float64(after.Mallocs-before.Mallocs) / float64(res.Steps)
+}
+
+// TestStepAllocBudget pins the allocation budget of the kernel step loop on
+// both engines so the pooled hot path cannot silently rot: the workload's
+// own spawn-handler allocations (one pooled task miss at warm-up, handler
+// closures) plus engine bookkeeping must stay within a small constant per
+// step. This workload measures ~1.1 allocs/step on both engines with
+// pooling (several times that without); the budget leaves ~2.5x headroom
+// for noise while still catching a regression to per-task allocation.
+func TestStepAllocBudget(t *testing.T) {
+	const budget = 3.0
+	for _, tc := range []struct {
+		name            string
+		shards, workers int
+	}{
+		{"seq", 1, 1},
+		{"sharded", 4, 2},
+	} {
+		if got := allocsPerStep(t, tc.shards, tc.workers); got > budget {
+			t.Errorf("%s: %.2f allocs/step, budget %.1f", tc.name, got, budget)
+		}
+	}
+}
+
+// TestMessageSeqAcrossWorkers: Message.Seq must be a function of
+// (seed, shards) only — never of how many host threads drive the shards.
+// Handlers record the seq of every delivered message on its destination
+// (destination-owned state, race-free), and the per-destination streams
+// must be identical at every worker count.
+func TestMessageSeqAcrossWorkers(t *testing.T) {
+	run := func(workers int) [][]uint64 {
+		seqs := make([][]uint64, 16)
+		k := New(Config{Topo: topology.Mesh(16), Policy: Spatial{T: DefaultT},
+			Seed: 11, Shards: 4, Workers: workers})
+		k.Handle(kindOneWay, func(k *Kernel, msg network.Message) {
+			seqs[msg.Dst] = append(seqs[msg.Dst], msg.Seq())
+		})
+		for c := 0; c < 16; c++ {
+			c := c
+			k.InjectTask(c, "w", func(e *Env) {
+				for i := 0; i < 25; i++ {
+					e.ComputeCycles(float64(10 + c%3))
+					e.Send((c+7)%16, kindOneWay, 16, nil)
+					e.Send((c+3)%16, kindOneWay, 8, nil)
+				}
+			}, nil, 0)
+		}
+		if _, err := k.Run(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return seqs
+	}
+	base := run(1)
+	total := 0
+	for _, s := range base {
+		total += len(s)
+	}
+	if total == 0 {
+		t.Fatal("no messages delivered")
+	}
+	for _, w := range []int{2, 4} {
+		got := run(w)
+		for dst := range base {
+			if len(got[dst]) != len(base[dst]) {
+				t.Fatalf("workers=%d dst=%d: %d seqs vs %d", w, dst, len(got[dst]), len(base[dst]))
+			}
+			for i := range base[dst] {
+				if got[dst][i] != base[dst][i] {
+					t.Fatalf("workers=%d dst=%d msg %d: seq %d != %d — Seq depends on worker interleaving",
+						w, dst, i, got[dst][i], base[dst][i])
+				}
+			}
+		}
+	}
+	// A per-(src) stream must also stay strictly increasing per source at
+	// each destination pair — spot-check global uniqueness.
+	seen := make(map[uint64]bool)
+	for _, s := range base {
+		for _, v := range s {
+			if seen[v] {
+				t.Fatalf("seq %d assigned to two messages", v)
+			}
+			seen[v] = true
+		}
+	}
+}

@@ -177,6 +177,9 @@ func (k *Kernel) drainBarrier() {
 	items := k.barrierItems[:0]
 	for _, d := range k.domains {
 		items = append(items, d.outbox...)
+		// The outbox backing array is per-round scratch too: drop its
+		// payload/closure references so only the merge buffer pins them.
+		clear(d.outbox)
 		d.outbox = d.outbox[:0]
 	}
 	if len(items) == 0 {

@@ -42,9 +42,28 @@ type Task struct {
 	endVT   vtime.Time
 
 	started     bool
-	pendingWake bool          // Unblock arrived before the task reached Block
-	cont        chan struct{} // kernel -> task: run
-	env         *Env
+	pendingWake bool // Unblock arrived before the task reached Block
+	release     bool // recycle the struct into the task pool at Done
+
+	// cont is the resume channel of the worker goroutine currently running
+	// the task body — assigned when the task first starts (domain.startTask)
+	// and shared with the worker for its whole pooled lifetime.
+	cont   chan struct{}
+	worker *taskWorker
+	env    Env
+}
+
+// ReleaseOnDone marks the task's struct for recycling into the kernel's
+// task pool the moment it finishes: the first NewTask on the shard where it
+// ended may reuse the allocation under a fresh identity. Callers must not
+// retain the *Task (or read State/EndVT) after completion. The task runtime
+// opts in for every task it creates — it never hands task handles out —
+// while tasks created directly (tests, InjectTask entry points) stay
+// un-recycled by default so held handles remain valid. Returns t for
+// chaining.
+func (t *Task) ReleaseOnDone() *Task {
+	t.release = true
+	return t
 }
 
 // State returns the task's lifecycle state.
@@ -243,8 +262,9 @@ func (e *Env) yield(kind yieldKind) {
 	e.horizon = e.k.horizonFor(e.c)
 }
 
-// main is the body of a task goroutine.
-func (t *Task) main() {
+// run executes one task body to completion (ending with a yieldDone
+// handoff to the kernel, even on panic).
+func (t *Task) run() {
 	defer func() {
 		if r := recover(); r != nil {
 			// Surface task panics to the kernel rather than killing the
@@ -254,6 +274,32 @@ func (t *Task) main() {
 			t.env.c.dom.yieldCh <- yieldInfo{kind: yieldDone, task: t}
 		}
 	}()
-	t.fn(t.env)
+	t.fn(&t.env)
 	t.env.yield(yieldDone)
+}
+
+// taskWorker is a pooled goroutine that runs successive task bodies: the
+// replacement for the goroutine-per-task model, where spawn-heavy workloads
+// paid a goroutine spawn plus channel allocation per task. A worker is
+// either executing (or parked inside) exactly one task's body, or parked on
+// its resume channel in a domain's free pool awaiting the next assignment.
+type taskWorker struct {
+	// cont is the kernel -> worker resume channel; while the worker runs a
+	// task the task's cont field aliases it, so mid-task resumes and pool
+	// reassignment share one channel (recycled with the worker).
+	cont chan struct{}
+	// task is the current assignment. Written only by the kernel before
+	// signalling cont (the channel handoff orders the write against the
+	// worker's read); nil tells a woken worker to exit.
+	task *Task
+}
+
+func (w *taskWorker) loop() {
+	for {
+		w.task.run()
+		<-w.cont
+		if w.task == nil {
+			return
+		}
+	}
 }

@@ -131,6 +131,8 @@ func (k *Kernel) flushTrace() {
 	merged := k.traceMerge[:0]
 	for _, d := range k.domains {
 		merged = append(merged, d.traceBuf...)
+		// Unpin task-name strings held by the reused per-shard buffer.
+		clear(d.traceBuf)
 		d.traceBuf = d.traceBuf[:0]
 	}
 	sort.Slice(merged, func(i, j int) bool {
@@ -148,6 +150,7 @@ func (k *Kernel) flushTrace() {
 		merged[i].Seq = k.traceSeq
 		k.tracer.Trace(merged[i])
 	}
+	clear(merged)
 	k.traceMerge = merged[:0]
 }
 

@@ -82,6 +82,47 @@ func (c *Counter) PerShard() []int64 {
 	return out
 }
 
+// Striped is a bare set of cache-line-padded per-stripe int64 accumulators
+// for components that keep their own instruments outside a Registry (the
+// network model's message/hop/byte totals). It follows the same write
+// discipline as every registry instrument — stripe s is written only by
+// the worker driving shard s, or by the single-threaded barrier — and the
+// only aggregate it exposes is the commutative sum, so merged totals are
+// identical at every worker count. Sum is single-threaded-context only
+// (after the run, or at a barrier).
+type Striped struct {
+	vals []slot
+}
+
+// NewStriped returns an accumulator with n stripes (minimum 1).
+func NewStriped(n int) *Striped {
+	if n < 1 {
+		n = 1
+	}
+	return &Striped{vals: make([]slot, n)}
+}
+
+// Widen grows the accumulator to at least n stripes, preserving existing
+// stripe contents. Setup-time only.
+func (s *Striped) Widen(n int) {
+	for len(s.vals) < n {
+		s.vals = append(s.vals, slot{})
+	}
+}
+
+// Add accumulates d into the given stripe. Only the worker driving that
+// stripe's shard (or the single-threaded barrier) may call it.
+func (s *Striped) Add(stripe int, d int64) { s.vals[stripe].v += d }
+
+// Sum returns the total over all stripes.
+func (s *Striped) Sum() int64 {
+	var t int64
+	for i := range s.vals {
+		t += s.vals[i].v
+	}
+	return t
+}
+
 // histStripe is one shard's private histogram state.
 type histStripe struct {
 	counts     []int64

@@ -14,8 +14,8 @@ package network
 
 import (
 	"fmt"
-	"sync/atomic"
 
+	"simany/internal/metrics"
 	"simany/internal/topology"
 	"simany/internal/vtime"
 )
@@ -38,7 +38,8 @@ type Message struct {
 	// Hops is the route length, recorded for statistics.
 	Hops int
 
-	seq uint64 // global emission order, for deterministic tie-breaks
+	// seq is the deterministic per-source emission index (see Seq).
+	seq uint64
 }
 
 // Params tunes the fine-grain network behaviour (§III "Architecture
@@ -77,22 +78,31 @@ type Model struct {
 	nbBW   [][]int
 	nbFree [][]vtime.Time
 
-	// lastArrival[src][dst] is the FIFO clamp per (src,dst) pair. It is
-	// indexed by source so that under sharded execution each entry is only
-	// touched by the shard sending on behalf of src (or by the
-	// single-threaded barrier).
-	lastArrival []map[int]vtime.Time
+	// lastArrival[src] is the FIFO clamp page for source src: a flat
+	// array indexed by destination, allocated lazily on src's first send
+	// so warm-path sends never touch the allocator. It is indexed by
+	// source so that under sharded execution each page is only touched by
+	// the shard sending on behalf of src (or by the single-threaded
+	// barrier).
+	lastArrival [][]vtime.Time
 
-	// seq and the statistics are atomics: shards sending over disjoint
-	// intra-shard routes still share these totals. The counters are
-	// commutative sums, so their final values stay deterministic; only
-	// the per-message seq assignment depends on host scheduling (it is a
-	// tie-break aid, never part of a Result).
-	seq atomic.Uint64
+	// srcSeq[src] counts the messages emitted by src. Like lastArrival it
+	// is only advanced from src's own execution context, so Message.Seq
+	// values are deterministic at every worker count — unlike the global
+	// atomic they replace, whose assignment order depended on how shard
+	// workers interleaved.
+	srcSeq []uint64
 
-	messages  atomic.Int64
-	totalHops atomic.Int64
-	bytes     atomic.Int64
+	// The statistics are striped per execution shard (internal/metrics
+	// discipline): during a round, Send only runs on behalf of sources
+	// owned by the executing shard, so each worker writes its own stripe
+	// and no counter is ever contended. The totals are commutative sums —
+	// identical at every worker count — and are read (Stats) only from
+	// single-threaded context.
+	stripeOf  []int // node -> stripe; nil = everything on stripe 0
+	messages  *metrics.Striped
+	totalHops *metrics.Striped
+	bytes     *metrics.Striped
 
 	// obs, when non-nil, receives fine-grain timing observations from
 	// Send. Install it before the simulation runs.
@@ -128,7 +138,11 @@ func New(t *topology.Topology, p Params) *Model {
 		nbLat:       make([][]vtime.Time, n),
 		nbBW:        make([][]int, n),
 		nbFree:      make([][]vtime.Time, n),
-		lastArrival: make([]map[int]vtime.Time, n),
+		lastArrival: make([][]vtime.Time, n),
+		srcSeq:      make([]uint64, n),
+		messages:    metrics.NewStriped(1),
+		totalHops:   metrics.NewStriped(1),
+		bytes:       metrics.NewStriped(1),
 	}
 	for node := 0; node < n; node++ {
 		nbs := t.Neighbors(node)
@@ -311,9 +325,11 @@ func (h *nodeHeap) pop() nodeItem {
 	return top
 }
 
-// Route returns the full path from src to dst (inclusive of both ends).
-func (m *Model) Route(src, dst int) []int {
-	path := []int{src}
+// AppendRoute appends the full path from src to dst (inclusive of both
+// ends) to path and returns the extended slice, reusing the caller's
+// storage — pass a slice with spare capacity and no allocation happens.
+func (m *Model) AppendRoute(path []int, src, dst int) []int {
+	path = append(path, src)
 	for cur := src; cur != dst; {
 		j := m.next[cur][dst]
 		if j < 0 {
@@ -325,12 +341,22 @@ func (m *Model) Route(src, dst int) []int {
 	return path
 }
 
+// Route returns the full path from src to dst (inclusive of both ends) as
+// a fresh slice. Hot callers should use AppendRoute with a reused buffer.
+func (m *Model) Route(src, dst int) []int {
+	return m.AppendRoute(nil, src, dst)
+}
+
 // chunks returns the number of chunks a message of size bytes occupies.
+// The size is first clamped up to the MinSize header floor; the occupancy
+// is always at least one chunk, which only needs stating explicitly for
+// configurations with no header floor (MinSize <= 0), since a positive
+// clamped size already rounds up to one.
 func (m *Model) chunks(size int) int64 {
 	if size < m.params.MinSize {
 		size = m.params.MinSize
 	}
-	if size <= 0 {
+	if size <= 0 { // only reachable when MinSize <= 0
 		return 1
 	}
 	return int64((size + m.params.ChunkSize - 1) / m.params.ChunkSize)
@@ -339,17 +365,25 @@ func (m *Model) chunks(size int) int64 {
 // Send computes the arrival time of a message emitted at msg.Stamp from
 // msg.Src to msg.Dst, updating link contention state, and returns the
 // message with Arrival, Hops and sequencing filled in. Sending to self
-// arrives immediately.
+// arrives immediately. At steady state (every active source has sent at
+// least once) Send performs no heap allocation.
 func (m *Model) Send(msg Message) Message {
-	msg.seq = m.seq.Add(1)
-	m.messages.Add(1)
-	m.bytes.Add(int64(msg.Size))
+	m.srcSeq[msg.Src]++
+	msg.seq = m.srcSeq[msg.Src]*uint64(len(m.srcSeq)) + uint64(msg.Src)
+	stripe := 0
+	if m.stripeOf != nil {
+		stripe = m.stripeOf[msg.Src]
+	}
+	m.messages.Add(stripe, 1)
+	m.bytes.Add(stripe, int64(msg.Size))
 	if msg.Src == msg.Dst {
 		msg.Arrival = msg.Stamp
 		return msg
 	}
 	t := msg.Stamp
-	nChunks := m.chunks(msg.Size)
+	// Serialization input is loop-invariant: every link transfers the same
+	// chunk payload, only its bandwidth differs.
+	chunkBytes := m.chunks(msg.Size) * int64(m.params.ChunkSize)
 	cur := msg.Src
 	for cur != msg.Dst {
 		j := m.next[cur][msg.Dst]
@@ -358,9 +392,8 @@ func (m *Model) Send(msg Message) Message {
 		// Serialization: chunk bytes / bandwidth, in cycles.
 		ser := vtime.Time(0)
 		if bw > 0 {
-			bytes := nChunks * int64(m.params.ChunkSize)
 			//lint:allow rawvtime fixed-point serialization: Cycle is the millicycles-per-cycle scale constant, not a timestamp
-			ser = vtime.Time(int64(vtime.Cycle) * bytes / int64(bw))
+			ser = vtime.Time(int64(vtime.Cycle) * chunkBytes / int64(bw))
 		}
 		// Contention: wait for the link to be free, then occupy it for the
 		// serialization time.
@@ -373,11 +406,12 @@ func (m *Model) Send(msg Message) Message {
 		cur = m.topo.Neighbors(cur)[j]
 		msg.Hops++
 	}
-	m.totalHops.Add(int64(msg.Hops))
-	// FIFO guarantee per (src,dst): arrivals never reorder.
+	m.totalHops.Add(stripe, int64(msg.Hops))
+	// FIFO guarantee per (src,dst): arrivals never reorder. The clamp page
+	// is allocated on the source's first send and owned by its shard.
 	la := m.lastArrival[msg.Src]
 	if la == nil {
-		la = make(map[int]vtime.Time)
+		la = make([]vtime.Time, len(m.lastArrival))
 		m.lastArrival[msg.Src] = la
 	}
 	if last := la[msg.Dst]; t < last {
@@ -388,17 +422,37 @@ func (m *Model) Send(msg Message) Message {
 	return msg
 }
 
-// Seq returns the deterministic global emission index of msg (valid after
-// Send).
+// Seq returns the deterministic emission index of msg (valid after Send):
+// the per-source message count encoded with the source ID, so values are
+// unique across the machine, strictly increasing per source, and — because
+// each source's counter is only advanced from its own shard's execution
+// context — independent of how shard workers interleave on the host.
+// Numeric order across different sources is not meaningful.
 func (msg Message) Seq() uint64 { return msg.seq }
+
+// SetStripes partitions the statistics counters into one stripe per
+// execution shard, with stripeOf mapping each node to the shard owning it
+// (nil keeps everything on stripe 0). The kernel calls it once at
+// construction; existing counts are preserved.
+func (m *Model) SetStripes(n int, stripeOf []int) {
+	if stripeOf != nil && len(stripeOf) != m.topo.N() {
+		panic("network: stripe map length must match node count")
+	}
+	m.messages.Widen(n)
+	m.totalHops.Widen(n)
+	m.bytes.Widen(n)
+	m.stripeOf = stripeOf
+}
 
 // SetObserver installs (or removes, with nil) the timing observer. Call
 // before the simulation starts; the field is read on every Send.
 func (m *Model) SetObserver(o Observer) { m.obs = o }
 
-// Stats reports cumulative message count, hop count and payload bytes.
+// Stats reports cumulative message count, hop count and payload bytes by
+// summing the per-shard stripes. Call from a single-threaded context (the
+// barrier, or after Run returns) — stripes are not synchronized.
 func (m *Model) Stats() (messages, hops, bytes int64) {
-	return m.messages.Load(), m.totalHops.Load(), m.bytes.Load()
+	return m.messages.Sum(), m.totalHops.Sum(), m.bytes.Sum()
 }
 
 // RouteWithin reports whether the route from src to dst stays entirely

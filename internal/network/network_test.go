@@ -286,3 +286,113 @@ func TestObserverSeesLinkContention(t *testing.T) {
 		t.Errorf("detached observer still called: %v", obs.waits)
 	}
 }
+
+func TestSeqPerSourceStream(t *testing.T) {
+	m := mesh4x4()
+	// Interleave sends from several sources: each source's stream must stay
+	// strictly increasing, and values must never collide across sources
+	// (the encoding folds the source ID into the low digits).
+	seen := make(map[uint64]bool)
+	last := make(map[int]uint64)
+	for round := 0; round < 8; round++ {
+		for _, src := range []int{0, 5, 11} {
+			msg := m.Send(Message{Src: src, Dst: (src + 1) % 16, Size: 8})
+			if s := msg.Seq(); s <= last[src] {
+				t.Fatalf("src %d: seq %d not increasing after %d", src, s, last[src])
+			} else if seen[s] {
+				t.Fatalf("seq %d assigned twice", s)
+			} else {
+				seen[s] = true
+				last[src] = s
+			}
+		}
+	}
+}
+
+func TestSendZeroAllocSteadyState(t *testing.T) {
+	m := mesh4x4()
+	// Warm the per-source FIFO pages: the first send from a source
+	// allocates its clamp page, nothing after that may allocate.
+	for src := 0; src < 16; src++ {
+		m.Send(Message{Src: src, Dst: (src + 3) % 16, Size: 64})
+	}
+	stamp := vtime.CyclesInt(1000)
+	allocs := testing.AllocsPerRun(200, func() {
+		for src := 0; src < 16; src++ {
+			m.Send(Message{Src: src, Dst: (src + 3) % 16, Size: 64, Stamp: stamp})
+		}
+		stamp += vtime.CyclesInt(100)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Send allocates %.1f times per 16 sends, want 0", allocs)
+	}
+}
+
+func TestAppendRouteReusesStorage(t *testing.T) {
+	m := mesh4x4()
+	// AppendRoute must extend the given slice in place and agree with Route.
+	buf := make([]int, 0, 16)
+	for src := 0; src < 16; src++ {
+		for dst := 0; dst < 16; dst++ {
+			buf = m.AppendRoute(buf[:0], src, dst)
+			want := m.Route(src, dst)
+			if len(buf) != len(want) {
+				t.Fatalf("%d->%d: AppendRoute %v != Route %v", src, dst, buf, want)
+			}
+			for i := range buf {
+				if buf[i] != want[i] {
+					t.Fatalf("%d->%d: AppendRoute %v != Route %v", src, dst, buf, want)
+				}
+			}
+		}
+	}
+	// Prefix contents are preserved, not overwritten.
+	pre := m.AppendRoute([]int{99}, 0, 2)
+	if pre[0] != 99 || pre[1] != 0 || pre[len(pre)-1] != 2 {
+		t.Fatalf("prefix not preserved: %v", pre)
+	}
+	// With enough capacity there is no allocation.
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = m.AppendRoute(buf[:0], 0, 15)
+	})
+	if allocs != 0 {
+		t.Errorf("AppendRoute with capacity allocates %.1f times, want 0", allocs)
+	}
+}
+
+func TestChunksBoundaries(t *testing.T) {
+	mk := func(minSize, chunkSize int) *Model {
+		p := DefaultParams()
+		p.MinSize = minSize
+		p.ChunkSize = chunkSize
+		return New(topology.Mesh2D(4, 4, vtime.CyclesInt(1), 128), p)
+	}
+	cases := []struct {
+		minSize, chunkSize, size int
+		want                     int64
+	}{
+		// Header floor: sizes at or below MinSize clamp up to it.
+		{8, 32, 0, 1},
+		{8, 32, -5, 1},
+		{8, 32, 8, 1},
+		// Chunk boundaries: exact multiples don't round up an extra chunk.
+		{8, 32, 32, 1},
+		{8, 32, 33, 2},
+		{8, 32, 64, 2},
+		{8, 32, 65, 3},
+		// No header floor: non-positive sizes still occupy one chunk.
+		{0, 32, 0, 1},
+		{0, 32, -1, 1},
+		{-4, 32, -2, 1},
+		// MinSize spanning several chunks.
+		{100, 32, 1, 4},
+		{100, 32, 200, 7},
+	}
+	for _, c := range cases {
+		m := mk(c.minSize, c.chunkSize)
+		if got := m.chunks(c.size); got != c.want {
+			t.Errorf("chunks(size=%d) with MinSize=%d ChunkSize=%d = %d, want %d",
+				c.size, c.minSize, c.chunkSize, got, c.want)
+		}
+	}
+}

@@ -40,15 +40,27 @@ func (r *Runtime) NewGroup() *Group {
 func (g *Group) Active() int { return g.active }
 
 // addFrom increments the counter on behalf of core me at the given stamp.
+// The home-shard fast path is checked inline (rather than through runAt) so
+// the deferral closure is only materialized when the call actually crosses
+// shards — group traffic is on the spawn hot path.
 func (g *Group) addFrom(me int, stamp vtime.Time, n int) {
-	g.r.runAt(me, g.home, stamp, func() { g.active += n })
+	if !g.r.k.Sharded() || g.r.k.SameShard(me, g.home) {
+		g.active += n
+		return
+	}
+	g.r.k.Defer(me, stamp, func() { g.active += n })
 }
 
 // taskEnded runs in the terminating task's context (on its core).
 func (g *Group) taskEnded(e *core.Env) {
 	me := e.CoreID()
 	now := e.Now()
-	g.r.runAt(me, g.home, now, func() { g.ended(me, now) })
+	if !g.r.k.Sharded() || g.r.k.SameShard(me, g.home) {
+		//lint:allow homeshard the branch above is runAt's home-context guard, inlined to keep the closure off the same-shard hot path
+		g.ended(me, now)
+		return
+	}
+	g.r.k.Defer(me, now, func() { g.ended(me, now) })
 }
 
 // ended applies one member termination; home-shard context only.

@@ -107,9 +107,13 @@ type Runtime struct {
 	alloc *mem.Allocator
 	cells *mem.CellStore
 
-	occ          []map[int]int // occ[c][nb] = believed queue length of nb
-	reservations []int         // outstanding accepted probes per core
-	rr           []int         // round-robin candidate cursor per core
+	// occ[c][j] = believed queue length of the j-th neighbor of core c
+	// (flat and neighbor-indexed — degrees are tiny, so nbIndex's linear
+	// scan beats a map lookup and the probe hot path stays allocation-free).
+	occ          [][]int
+	nbs          [][]int // cached topology neighbor lists, indexed like occ
+	reservations []int   // outstanding accepted probes per core
+	rr           []int   // round-robin candidate cursor per core
 
 	stats Stats
 }
@@ -167,12 +171,14 @@ func New(k *core.Kernel, alloc *mem.Allocator, opt Options) *Runtime {
 		opt:          opt,
 		alloc:        alloc,
 		cells:        mem.NewCellStore(alloc),
-		occ:          make([]map[int]int, n),
+		occ:          make([][]int, n),
+		nbs:          make([][]int, n),
 		reservations: make([]int, n),
 		rr:           make([]int, n),
 	}
 	for i := 0; i < n; i++ {
-		r.occ[i] = make(map[int]int, k.Topology().Degree(i))
+		r.nbs[i] = k.Topology().Neighbors(i)
+		r.occ[i] = make([]int, len(r.nbs[i]))
 	}
 	if k.Sharded() {
 		// Deterministic cell ids/addresses for concurrent creators.
@@ -243,7 +249,7 @@ func (r *Runtime) wrap(g *Group, fn func(*core.Env)) func(*core.Env) {
 
 // Run injects the root task and drives the simulation to completion.
 func (r *Runtime) Run(name string, root func(*core.Env)) (core.Result, error) {
-	t := r.k.NewTask(r.opt.RootCore, name, r.wrap(nil, root), &taskMeta{})
+	t := r.k.NewTask(r.opt.RootCore, name, r.wrap(nil, root), &taskMeta{}).ReleaseOnDone()
 	r.k.PlaceTask(t, r.opt.RootCore, 0, nil)
 	return r.k.Run()
 }
@@ -256,7 +262,7 @@ func (r *Runtime) Run(name string, root func(*core.Env)) (core.Result, error) {
 // says full. With SpeedAware, occupancies are weighted by the inverse core
 // speed so faster cores look emptier (§VIII extension).
 func (r *Runtime) pickCandidate(me int) int {
-	nbs := r.k.Topology().Neighbors(me)
+	nbs := r.nbs[me]
 	if len(nbs) == 0 {
 		return -1
 	}
@@ -265,8 +271,9 @@ func (r *Runtime) pickCandidate(me int) int {
 	best := -1
 	bestScore := float64(r.opt.QueueCap)
 	for i := 0; i < len(nbs); i++ {
-		nb := nbs[(start+i)%len(nbs)]
-		occ := r.occ[me][nb]
+		j := (start + i) % len(nbs)
+		nb := nbs[j]
+		occ := r.occ[me][j]
 		if occ >= r.opt.QueueCap {
 			continue
 		}
@@ -307,7 +314,8 @@ func (r *Runtime) SpawnOrRun(e *core.Env, g *Group, name string, argBytes int, f
 	if rep == nil {
 		panic("rt: probe reply lost")
 	}
-	r.occ[me][rep.from] = rep.queueLen
+	fromIdx := r.nbIndex(me, rep.from)
+	r.occ[me][fromIdx] = rep.queueLen
 	if !rep.ok {
 		atomic.AddInt64(&r.stats.Denied, 1)
 		atomic.AddInt64(&r.stats.LocalRuns, 1)
@@ -319,9 +327,9 @@ func (r *Runtime) SpawnOrRun(e *core.Env, g *Group, name string, argBytes int, f
 	// earlier-or-equal stamp, so the home shard always applies it before the
 	// child can be placed (let alone terminate).
 	g.addFrom(me, birth, 1)
-	child := r.k.NewTask(me, name, r.wrap(g, fn), &taskMeta{group: g})
+	child := r.k.NewTask(me, name, r.wrap(g, fn), &taskMeta{group: g}).ReleaseOnDone()
 	r.k.RegisterBirth(r.k.Core(me), child, birth)
-	r.occ[me][rep.from] = rep.queueLen + 1
+	r.occ[me][fromIdx] = rep.queueLen + 1
 	e.Send(cand, KindTaskSpawn, r.opt.SpawnBaseSize+argBytes,
 		&spawnMsg{task: child, birthOwner: r.k.Core(me)})
 	atomic.AddInt64(&r.stats.Spawns, 1)
@@ -372,13 +380,12 @@ func (r *Runtime) onTaskSpawn(k *core.Kernel, msg network.Message) {
 	}
 	if c.QueueLength() >= r.opt.QueueCap && sm.hops < r.opt.MaxMigrations {
 		// Migrate onward to the neighbor believed least loaded.
-		nbs := k.Topology().Neighbors(dst)
 		best, bestOcc := -1, int(^uint(0)>>1)
-		for _, nb := range nbs {
+		for j, nb := range r.nbs[dst] {
 			if nb == msg.Src {
 				continue
 			}
-			if occ := r.occ[dst][nb]; occ < bestOcc {
+			if occ := r.occ[dst][j]; occ < bestOcc {
 				best, bestOcc = nb, occ
 			}
 		}
@@ -396,12 +403,23 @@ func (r *Runtime) onTaskSpawn(k *core.Kernel, msg network.Message) {
 
 // broadcastOcc sends the core's new queue occupancy to its neighbors.
 func (r *Runtime) broadcastOcc(coreID, qlen int, at vtime.Time) {
-	for _, nb := range r.k.Topology().Neighbors(coreID) {
+	for _, nb := range r.nbs[coreID] {
 		r.k.SendAt(coreID, nb, KindOccUpdate, r.opt.OccSize, qlen, at)
 	}
 }
 
+// nbIndex returns the position of nb in c's neighbor list. Occupancy
+// traffic only ever flows between topology neighbors, so a miss is a bug.
+func (r *Runtime) nbIndex(c, nb int) int {
+	for j, id := range r.nbs[c] {
+		if id == nb {
+			return j
+		}
+	}
+	panic("rt: occupancy update from non-neighbor")
+}
+
 // onOccUpdate refreshes the receiving core's proxy of the sender's queue.
 func (r *Runtime) onOccUpdate(k *core.Kernel, msg network.Message) {
-	r.occ[msg.Dst][msg.Src] = msg.Payload.(int)
+	r.occ[msg.Dst][r.nbIndex(msg.Dst, msg.Src)] = msg.Payload.(int)
 }
