@@ -1,11 +1,13 @@
 // Command benchguard turns `go test -bench` output into a CI gate and a
 // job summary. It reads benchmark output on stdin, extracts allocs/op and
-// the simulator's custom steps/sec metric per sub-benchmark, compares
-// allocs/op against the ceilings checked in under "alloc_guard" in a
-// baseline JSON file (BENCH_hotpath.json), and exits non-zero when any
-// sub-benchmark exceeds its ceiling by more than the tolerance. A markdown
-// table is appended to $GITHUB_STEP_SUMMARY when that variable is set (the
-// GitHub Actions job-summary protocol), and always printed to stdout.
+// the simulator's custom steps/sec metric per sub-benchmark, and compares
+// them against the baselines checked into a JSON file (BENCH_hotpath.json):
+// allocs/op against the "alloc_guard" ceilings, steps/sec against the
+// "throughput_guard" floors. It exits non-zero when any sub-benchmark
+// exceeds its alloc ceiling or undershoots its throughput floor by more
+// than the respective tolerance. A markdown table is appended to
+// $GITHUB_STEP_SUMMARY when that variable is set (the GitHub Actions
+// job-summary protocol), and always printed to stdout.
 //
 // Usage:
 //
@@ -30,6 +32,17 @@ type baselineFile struct {
 	AllocGuard struct {
 		MaxAllocsPerOp map[string]float64 `json:"max_allocs_per_op"`
 	} `json:"alloc_guard"`
+	ThroughputGuard struct {
+		MinStepsPerSec map[string]float64 `json:"min_steps_per_sec"`
+	} `json:"throughput_guard"`
+}
+
+// guards bundles the baseline limits and their tolerances.
+type guards struct {
+	ceilings map[string]float64 // allocs/op ceilings (fail above ceiling*(1+allocTol))
+	floors   map[string]float64 // steps/sec floors (fail below floor*(1-stepTol))
+	allocTol float64
+	stepTol  float64
 }
 
 // measurement is one parsed sub-benchmark result.
@@ -81,44 +94,67 @@ func parseBench(r io.Reader, parent string) ([]measurement, error) {
 	return out, sc.Err()
 }
 
-// check compares measurements against ceilings and renders the summary
-// table. It returns the markdown and the list of failures.
-func check(ms []measurement, ceilings map[string]float64, tolerance float64) (string, []string) {
+// check compares measurements against the alloc ceilings and throughput
+// floors and renders the summary table. It returns the markdown and the
+// list of failures.
+func check(ms []measurement, g guards) (string, []string) {
 	var b strings.Builder
 	var failures []string
 	b.WriteString("### Hot-path benchmark\n\n")
-	b.WriteString("| bench | steps/sec | allocs/op | ceiling (+tolerance) | status |\n")
-	b.WriteString("|---|---|---|---|---|\n")
+	b.WriteString("| bench | steps/sec | floor (-tolerance) | allocs/op | ceiling (+tolerance) | status |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
 	seen := make(map[string]bool)
 	for _, m := range ms {
 		seen[m.name] = true
-		ceiling, guarded := ceilings[m.name]
-		status := "—"
-		limit := "—"
-		if guarded {
-			max := ceiling * (1 + tolerance)
-			limit = fmt.Sprintf("%.0f (%.0f)", ceiling, max)
+		ok, guarded := true, false
+		allocLimit, stepLimit := "—", "—"
+		if ceiling, has := g.ceilings[m.name]; has {
+			guarded = true
+			max := ceiling * (1 + g.allocTol)
+			allocLimit = fmt.Sprintf("%.0f (%.0f)", ceiling, max)
 			if m.allocsPerOp > max {
-				status = "❌ regression"
+				ok = false
 				failures = append(failures, fmt.Sprintf(
 					"%s: %.0f allocs/op exceeds ceiling %.0f by more than %.0f%%",
-					m.name, m.allocsPerOp, ceiling, tolerance*100))
-			} else {
-				status = "✅"
+					m.name, m.allocsPerOp, ceiling, g.allocTol*100))
 			}
 		}
-		fmt.Fprintf(&b, "| %s | %.0f | %.0f | %s | %s |\n",
-			m.name, m.stepsPerSec, m.allocsPerOp, limit, status)
+		if floor, has := g.floors[m.name]; has {
+			guarded = true
+			min := floor * (1 - g.stepTol)
+			stepLimit = fmt.Sprintf("%.0f (%.0f)", floor, min)
+			if m.stepsPerSec < min {
+				ok = false
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.0f steps/sec is more than %.0f%% below floor %.0f",
+					m.name, m.stepsPerSec, g.stepTol*100, floor))
+			}
+		}
+		status := "—"
+		if guarded {
+			if ok {
+				status = "✅"
+			} else {
+				status = "❌ regression"
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %.0f | %s | %.0f | %s | %s |\n",
+			m.name, m.stepsPerSec, stepLimit, m.allocsPerOp, allocLimit, status)
 	}
-	for name := range ceilings {
+	for name := range g.ceilings {
 		if !seen[name] {
+			failures = append(failures, fmt.Sprintf("%s: guarded sub-benchmark missing from output", name))
+		}
+	}
+	for name := range g.floors {
+		if _, dup := g.ceilings[name]; !seen[name] && !dup {
 			failures = append(failures, fmt.Sprintf("%s: guarded sub-benchmark missing from output", name))
 		}
 	}
 	return b.String(), failures
 }
 
-func run(in io.Reader, baselinePath, parent string, tolerance float64) (string, error) {
+func run(in io.Reader, baselinePath, parent string, allocTol, stepTol float64) (string, error) {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return "", err
@@ -130,8 +166,8 @@ func run(in io.Reader, baselinePath, parent string, tolerance float64) (string, 
 	if parent == "" {
 		parent = base.Benchmark
 	}
-	if len(base.AllocGuard.MaxAllocsPerOp) == 0 {
-		return "", fmt.Errorf("benchguard: %s has no alloc_guard ceilings", baselinePath)
+	if len(base.AllocGuard.MaxAllocsPerOp) == 0 && len(base.ThroughputGuard.MinStepsPerSec) == 0 {
+		return "", fmt.Errorf("benchguard: %s has no alloc_guard ceilings or throughput_guard floors", baselinePath)
 	}
 	ms, err := parseBench(in, parent)
 	if err != nil {
@@ -140,7 +176,12 @@ func run(in io.Reader, baselinePath, parent string, tolerance float64) (string, 
 	if len(ms) == 0 {
 		return "", fmt.Errorf("benchguard: no %s/* results on stdin", parent)
 	}
-	md, failures := check(ms, base.AllocGuard.MaxAllocsPerOp, tolerance)
+	md, failures := check(ms, guards{
+		ceilings: base.AllocGuard.MaxAllocsPerOp,
+		floors:   base.ThroughputGuard.MinStepsPerSec,
+		allocTol: allocTol,
+		stepTol:  stepTol,
+	})
 	if len(failures) > 0 {
 		return md, fmt.Errorf("benchguard: %s", strings.Join(failures, "; "))
 	}
@@ -148,12 +189,13 @@ func run(in io.Reader, baselinePath, parent string, tolerance float64) (string, 
 }
 
 func main() {
-	baseline := flag.String("baseline", "BENCH_hotpath.json", "baseline JSON with alloc_guard ceilings")
+	baseline := flag.String("baseline", "BENCH_hotpath.json", "baseline JSON with alloc_guard ceilings and throughput_guard floors")
 	parent := flag.String("bench", "", "parent benchmark name (default: \"benchmark\" field of the baseline)")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional allocs/op overshoot")
+	stepTol := flag.Float64("throughput-tolerance", 0.30, "allowed fractional steps/sec undershoot below the floor")
 	flag.Parse()
 
-	md, err := run(os.Stdin, *baseline, *parent, *tolerance)
+	md, err := run(os.Stdin, *baseline, *parent, *tolerance, *stepTol)
 	if md != "" {
 		fmt.Print(md)
 		if path := os.Getenv("GITHUB_STEP_SUMMARY"); path != "" {

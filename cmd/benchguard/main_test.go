@@ -41,7 +41,7 @@ func TestCheckPassAndFail(t *testing.T) {
 	}
 	ceilings := map[string]float64{"seq": 18750, "sharded": 29317}
 
-	md, failures := check(ms, ceilings, 0.20)
+	md, failures := check(ms, guards{ceilings: ceilings, allocTol: 0.20})
 	if len(failures) != 0 {
 		t.Fatalf("at-ceiling run failed: %v", failures)
 	}
@@ -51,13 +51,13 @@ func TestCheckPassAndFail(t *testing.T) {
 
 	// 20% tolerance: a ceiling set 25% below the measurement must fail.
 	tight := map[string]float64{"seq": 15000, "sharded": 29317}
-	_, failures = check(ms, tight, 0.20)
+	_, failures = check(ms, guards{ceilings: tight, allocTol: 0.20})
 	if len(failures) != 1 || !strings.Contains(failures[0], "seq") {
 		t.Errorf("regression not flagged: %v", failures)
 	}
 
 	// A guarded sub-benchmark missing from the output is a failure too.
-	_, failures = check(ms[:1], ceilings, 0.20)
+	_, failures = check(ms[:1], guards{ceilings: ceilings, allocTol: 0.20})
 	if len(failures) != 1 || !strings.Contains(failures[0], "sharded") {
 		t.Errorf("missing sub-benchmark not flagged: %v", failures)
 	}
@@ -73,14 +73,14 @@ func TestRunAgainstBaselineFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(baseline), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	md, err := run(strings.NewReader(sampleOutput), path, "", 0.20)
+	md, err := run(strings.NewReader(sampleOutput), path, "", 0.20, 0.30)
 	if err != nil {
 		t.Fatalf("run failed: %v", err)
 	}
 	if !strings.Contains(md, "sharded") {
 		t.Errorf("summary missing sharded row:\n%s", md)
 	}
-	if _, err := run(strings.NewReader("no benchmarks here\n"), path, "", 0.20); err == nil {
+	if _, err := run(strings.NewReader("no benchmarks here\n"), path, "", 0.20, 0.30); err == nil {
 		t.Error("empty input should fail")
 	}
 }
@@ -91,8 +91,41 @@ func TestRepoBaselineParses(t *testing.T) {
 	if _, err := os.Stat("../../BENCH_hotpath.json"); err != nil {
 		t.Skip("baseline not present")
 	}
-	_, err := run(strings.NewReader(sampleOutput), "../../BENCH_hotpath.json", "", 0.20)
+	_, err := run(strings.NewReader(sampleOutput), "../../BENCH_hotpath.json", "", 0.20, 0.30)
 	if err != nil {
 		t.Fatalf("checked-in baseline rejected: %v", err)
+	}
+}
+
+func TestThroughputFloor(t *testing.T) {
+	ms, err := parseBench(strings.NewReader(sampleOutput), "BenchmarkHotPath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Floors at the measured values pass (zero undershoot).
+	floors := map[string]float64{"seq": 344304, "sharded": 341135}
+	md, failures := check(ms, guards{floors: floors, stepTol: 0.30})
+	if len(failures) != 0 {
+		t.Fatalf("at-floor run failed: %v", failures)
+	}
+	if !strings.Contains(md, "✅") {
+		t.Errorf("summary table malformed:\n%s", md)
+	}
+
+	// seq measured 344304 steps/sec; a floor of 500000 with 30% tolerance
+	// (minimum 350000) is a >30% regression and must fail.
+	_, failures = check(ms, guards{floors: map[string]float64{"seq": 500000}, stepTol: 0.30})
+	if len(failures) != 1 || !strings.Contains(failures[0], "steps/sec") {
+		t.Errorf("throughput regression not flagged: %v", failures)
+	}
+
+	// A floor-guarded sub-benchmark missing from the output fails, and is
+	// reported once even when it also has an alloc ceiling.
+	_, failures = check(ms[:1], guards{
+		ceilings: map[string]float64{"sharded": 29317},
+		floors:   floors, allocTol: 0.20, stepTol: 0.30,
+	})
+	if len(failures) != 1 || !strings.Contains(failures[0], "sharded") {
+		t.Errorf("missing sub-benchmark not flagged exactly once: %v", failures)
 	}
 }

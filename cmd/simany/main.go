@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -56,9 +57,15 @@ func run(args []string) error {
 		metricsF  = fs.String("metrics", "", "write the deterministic metrics snapshot to this file (\"-\" = stdout)")
 		pprofF    = fs.String("pprof", "", "write a host CPU profile of the simulation to this file")
 		machineF  = fs.String("machine", "", "load the architecture from a machine description file (overrides -cores/-style/-mem/-policy/-T)")
+		ckptF     = fs.String("checkpoint", "", "pause at the -checkpoint-after position and write a checkpoint to this file")
+		ckptAfter = fs.Int64("checkpoint-after", 0, "engine position (barriers for -shards > 1, steps otherwise) to checkpoint at; requires -checkpoint")
+		resumeF   = fs.String("resume", "", "resume from a checkpoint file written by -checkpoint (same benchmark, seed, scale and machine flags required)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *ckptF != "" && *ckptAfter <= 0 {
+		return fmt.Errorf("-checkpoint requires -checkpoint-after N (N > 0)")
 	}
 
 	b, err := bench.ByName(*benchName)
@@ -83,6 +90,7 @@ func run(args []string) error {
 		return execute(b, m, mode, *seed, *scale, runOpts{
 			verbose: *verbose, traceFile: *traceFile, timeline: *timeline,
 			metricsFile: *metricsF, pprofFile: *pprofF,
+			checkpointFile: *ckptF, checkpointAfter: *ckptAfter, resumeFile: *resumeF,
 		})
 	}
 	m = config.Machine{Cores: *cores, T: vtime.Cycles(*tCycles), Policy: *policy, Seed: *seed,
@@ -115,6 +123,7 @@ func run(args []string) error {
 	return execute(b, m, mode, *seed, *scale, runOpts{
 		verbose: *verbose, traceFile: *traceFile, timeline: *timeline,
 		metricsFile: *metricsF, pprofFile: *pprofF,
+		checkpointFile: *ckptF, checkpointAfter: *ckptAfter, resumeFile: *resumeF,
 	})
 }
 
@@ -125,6 +134,13 @@ type runOpts struct {
 	timeline    bool
 	metricsFile string
 	pprofFile   string
+
+	// checkpointFile/checkpointAfter pause the run at an engine position
+	// and write the kernel state; resumeFile restores a previous run
+	// instead of starting from virtual time zero (docs/checkpoint.md).
+	checkpointFile  string
+	checkpointAfter int64
+	resumeFile      string
 }
 
 // execute generates the workload, runs the simulation and reports.
@@ -160,11 +176,45 @@ func execute(b bench.Benchmark, m config.Machine, mode bench.Mode, seed int64, s
 			return err
 		}
 	}
+	if opts.resumeFile != "" {
+		f, err := os.Open(opts.resumeFile)
+		if err != nil {
+			return err
+		}
+		ck, err := core.ReadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := k.ArmResume(ck); err != nil {
+			return err
+		}
+		fmt.Printf("resume           %s (position %d, %s mode)\n", opts.resumeFile, ck.Pos, ck.Mode)
+	}
+	if opts.checkpointFile != "" {
+		k.PauseAfter(opts.checkpointAfter)
+	}
 	root, finish := b.Program(r, mode)
 	simStart := time.Now()
 	res, err := r.Run(b.Name(), root)
 	if opts.pprofFile != "" {
 		pprof.StopCPUProfile()
+	}
+	if errors.Is(err, core.ErrPaused) && opts.checkpointFile != "" {
+		f, cerr := os.Create(opts.checkpointFile)
+		if cerr != nil {
+			return cerr
+		}
+		if cerr := k.Checkpoint(f); cerr != nil {
+			f.Close()
+			return cerr
+		}
+		if cerr := f.Close(); cerr != nil {
+			return cerr
+		}
+		fmt.Printf("checkpoint       position %d -> %s (resume with -resume %s and identical flags)\n",
+			k.Position(), opts.checkpointFile, opts.checkpointFile)
+		return nil
 	}
 	if err != nil {
 		return err

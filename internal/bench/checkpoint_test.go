@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"simany/internal/core"
+	"simany/internal/mem"
+	"simany/internal/metrics"
+	"simany/internal/rt"
+	"simany/internal/snap"
+	"simany/internal/topology"
+	"simany/internal/trace"
+)
+
+// obsRun bundles a kernel with full observability attached (trace
+// recorder + metrics registry) and its runtime — the configuration the
+// checkpoint contract is stated against: checkpoint at a barrier plus
+// resume must be indistinguishable from an uninterrupted run in Result,
+// trace stream, metrics state and benchmark checksum.
+type obsRun struct {
+	k   *core.Kernel
+	r   *rt.Runtime
+	rec *trace.Recorder
+	reg *metrics.Registry
+}
+
+func newObsRun(shards, workers int, seed int64) *obsRun {
+	rec := trace.NewRecorder(0)
+	reg := metrics.New()
+	k := core.New(core.Config{
+		Topo:    topology.Mesh(16),
+		Policy:  core.Spatial{T: core.DefaultT},
+		Mem:     mem.NewShared(),
+		Seed:    seed,
+		Shards:  shards,
+		Workers: workers,
+		Tracer:  rec,
+		Metrics: reg,
+	})
+	return &obsRun{k: k, r: rt.New(k, nil, rt.DefaultOptions()), rec: rec, reg: reg}
+}
+
+// firstDiff pinpoints the first line where two texts diverge.
+func firstDiff(got, want string) string {
+	g, w := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(g) || i < len(w); i++ {
+		var gl, wl string
+		if i < len(g) {
+			gl = g[i]
+		}
+		if i < len(w) {
+			wl = w[i]
+		}
+		if gl != wl {
+			return fmt.Sprintf("line %d:\n  got  %q\n  want %q", i+1, gl, wl)
+		}
+	}
+	return "texts equal"
+}
+
+func metricsText(t *testing.T, reg *metrics.Registry) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	return b.String()
+}
+
+// TestCheckpointRoundTrip is the tentpole contract applied to every
+// bundled benchmark at two shard counts: run to a mid-run barrier,
+// checkpoint, restore into a fresh kernel, continue — the spliced
+// (prefix + resumed) trace, the final metrics text, the Result and the
+// computation checksum must all be identical to an uninterrupted run.
+// Benchmark programs are closures, so these files exercise the
+// verified-replay restore path end to end.
+func TestCheckpointRoundTrip(t *testing.T) {
+	const seed = 42
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			b, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Generate(seed, 0.3)
+			want := b.RunNative()
+			shardCounts := []int{1, 4}
+			for _, shards := range shardCounts {
+				checkRoundTrip(t, b, shards, seed, want)
+			}
+		})
+	}
+}
+
+func checkRoundTrip(t *testing.T, b Benchmark, shards int, seed int64, want uint64) {
+	t.Helper()
+
+	// Uninterrupted reference run.
+	full := newObsRun(shards, 2, seed)
+	root, finish := b.Program(full.r, Shared)
+	fullRes, err := full.r.Run(b.Name(), root)
+	if err != nil {
+		t.Fatalf("shards=%d: full run: %v", shards, err)
+	}
+	if got := finish(); got != want {
+		t.Fatalf("shards=%d: full run checksum %#x, native %#x", shards, got, want)
+	}
+	fullEvents := full.rec.Events()
+	fullMetrics := metricsText(t, full.reg)
+	finalPos := full.k.Position()
+	if finalPos < 2 {
+		t.Fatalf("shards=%d: run too short to interrupt (position %d)", shards, finalPos)
+	}
+
+	// Interrupted run: pause at the midpoint barrier, checkpoint.
+	mid := finalPos / 2
+	intr := newObsRun(shards, 2, seed)
+	root, _ = b.Program(intr.r, Shared)
+	intr.k.PauseAfter(mid)
+	if _, err := intr.r.Run(b.Name(), root); !errors.Is(err, core.ErrPaused) {
+		t.Fatalf("shards=%d: expected ErrPaused at position %d, got %v", shards, mid, err)
+	}
+	if !intr.k.Paused() || intr.k.Position() != mid {
+		t.Fatalf("shards=%d: paused=%v position=%d, want paused at %d",
+			shards, intr.k.Paused(), intr.k.Position(), mid)
+	}
+	var buf bytes.Buffer
+	if err := intr.k.Checkpoint(&buf); err != nil {
+		t.Fatalf("shards=%d: checkpoint: %v", shards, err)
+	}
+	prefixEvents := intr.rec.Events()
+
+	// The file must parse and identify itself.
+	ck, err := core.ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("shards=%d: reading checkpoint back: %v", shards, err)
+	}
+	if ck.Pos != mid {
+		t.Fatalf("shards=%d: checkpoint position %d, want %d", shards, ck.Pos, mid)
+	}
+	if ck.Mode != snap.ModeReplay {
+		t.Fatalf("shards=%d: closure-bodied benchmark checkpoint should be replay mode, got %v", shards, ck.Mode)
+	}
+
+	// Resume into a fresh kernel and run to completion. Replay-mode resume
+	// needs the original program re-injected; Program is re-callable.
+	res := newObsRun(shards, 2, seed)
+	if err := res.k.ArmResume(ck); err != nil {
+		t.Fatalf("shards=%d: arming resume: %v", shards, err)
+	}
+	root, finish = b.Program(res.r, Shared)
+	resRes, err := res.r.Run(b.Name(), root)
+	if err != nil {
+		t.Fatalf("shards=%d: resumed run: %v", shards, err)
+	}
+	if got := finish(); got != want {
+		t.Fatalf("shards=%d: resumed checksum %#x, native %#x", shards, got, want)
+	}
+	if !reflect.DeepEqual(resRes, fullRes) {
+		t.Errorf("shards=%d: resumed Result diverged:\n  got  %+v\n  want %+v", shards, resRes, fullRes)
+	}
+	if got := metricsText(t, res.reg); got != fullMetrics {
+		t.Errorf("shards=%d: resumed metrics text diverged:\n%s", shards, firstDiff(got, fullMetrics))
+	}
+
+	// Trace splice: prefix (up to the checkpoint barrier) + resumed stream
+	// must equal the uninterrupted stream event for event.
+	spliced := append(append([]core.TraceEvent(nil), prefixEvents...), res.rec.Events()...)
+	if len(spliced) != len(fullEvents) {
+		t.Fatalf("shards=%d: spliced trace has %d events, full run %d (prefix %d, resumed %d)",
+			shards, len(spliced), len(fullEvents), len(prefixEvents), len(res.rec.Events()))
+	}
+	for i := range spliced {
+		if spliced[i] != fullEvents[i] {
+			t.Fatalf("shards=%d: trace diverged at event %d:\n  got  %+v\n  want %+v",
+				shards, i, spliced[i], fullEvents[i])
+		}
+	}
+}
+
+// TestCheckpointRejectsMismatchedConfig: a checkpoint must refuse to arm
+// against a kernel whose configuration fingerprint differs.
+func TestCheckpointRejectsMismatchedConfig(t *testing.T) {
+	b, err := ByName("quicksort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Generate(7, 0.2)
+	run := newObsRun(4, 2, 7)
+	root, _ := b.Program(run.r, Shared)
+	run.k.PauseAfter(2)
+	if _, err := run.r.Run(b.Name(), root); !errors.Is(err, core.ErrPaused) {
+		t.Fatalf("expected ErrPaused, got %v", err)
+	}
+	var buf bytes.Buffer
+	if err := run.k.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := core.ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := newObsRun(4, 2, 8) // different seed -> different fingerprint
+	if err := other.k.ArmResume(ck); err == nil {
+		t.Fatal("ArmResume accepted a checkpoint from a different configuration")
+	}
+	seq := newObsRun(1, 1, 7) // same seed, different engine kind
+	if err := seq.k.ArmResume(ck); err == nil {
+		t.Fatal("ArmResume accepted a sharded checkpoint on the sequential engine")
+	}
+}
+
+// TestCheckpointCorruptionDetected: every single-byte corruption of a real
+// checkpoint file must be detected at read time (the trailing CRC), and
+// truncations must never read successfully.
+func TestCheckpointCorruptionDetected(t *testing.T) {
+	b, err := ByName("spmxv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Generate(3, 0.2)
+	run := newObsRun(4, 1, 3)
+	root, _ := b.Program(run.r, Shared)
+	run.k.PauseAfter(2)
+	if _, err := run.r.Run(b.Name(), root); !errors.Is(err, core.ErrPaused) {
+		t.Fatalf("expected ErrPaused, got %v", err)
+	}
+	var buf bytes.Buffer
+	if err := run.k.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := core.ReadCheckpoint(bytes.NewReader(data)); err != nil {
+		t.Fatalf("pristine checkpoint failed to read: %v", err)
+	}
+	// Flip one bit at a spread of offsets (including the CRC itself).
+	for _, off := range []int{0, 7, 8, len(data) / 3, len(data) / 2, len(data) - 5, len(data) - 1} {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x40
+		if _, err := core.ReadCheckpoint(bytes.NewReader(mut)); err == nil {
+			t.Errorf("bit flip at offset %d went undetected", off)
+		}
+	}
+	for _, n := range []int{0, 4, len(data) / 2, len(data) - 1} {
+		if _, err := core.ReadCheckpoint(bytes.NewReader(data[:n])); err == nil {
+			t.Errorf("truncation to %d bytes went undetected", n)
+		}
+	}
+}

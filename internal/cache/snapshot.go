@@ -1,0 +1,92 @@
+package cache
+
+import (
+	"sort"
+
+	"simany/internal/snap"
+)
+
+// Snapshot appends the scoped L1's state in canonical form: present lines
+// sorted ascending, so identical cache state always produces identical
+// bytes (required by the kernel's replay-verified restore).
+func (s *Scoped) Snapshot(enc *snap.Encoder) {
+	enc.Varint(int64(s.depth))
+	enc.Varint(s.hits)
+	enc.Varint(s.misses)
+	lines := make([]uint64, 0, len(s.present))
+	for l := range s.present {
+		lines = append(lines, l)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	enc.Uvarint(uint64(len(lines)))
+	for _, l := range lines {
+		enc.Uvarint(l)
+	}
+}
+
+// Restore implements the inverse of Snapshot.
+func (s *Scoped) Restore(dec *snap.Decoder) error {
+	d, err := dec.Varint()
+	if err != nil {
+		return err
+	}
+	s.depth = int(d)
+	if s.hits, err = dec.Varint(); err != nil {
+		return err
+	}
+	if s.misses, err = dec.Varint(); err != nil {
+		return err
+	}
+	n, err := dec.Uvarint()
+	if err != nil {
+		return err
+	}
+	clear(s.present)
+	for i := uint64(0); i < n; i++ {
+		l, err := dec.Uvarint()
+		if err != nil {
+			return err
+		}
+		s.present[l] = struct{}{}
+	}
+	return nil
+}
+
+// Snapshot appends the L2's state in canonical (sorted) form.
+func (l *L2) Snapshot(enc *snap.Encoder) {
+	enc.Varint(l.hits)
+	enc.Varint(l.misses)
+	lines := make([]uint64, 0, len(l.present))
+	for ln := range l.present {
+		lines = append(lines, ln)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	enc.Uvarint(uint64(len(lines)))
+	for _, ln := range lines {
+		enc.Uvarint(ln)
+	}
+}
+
+// Restore implements the inverse of Snapshot.
+func (l *L2) Restore(dec *snap.Decoder) error {
+	var err error
+	if l.hits, err = dec.Varint(); err != nil {
+		return err
+	}
+	if l.misses, err = dec.Varint(); err != nil {
+		return err
+	}
+	n, err := dec.Uvarint()
+	if err != nil {
+		return err
+	}
+	clear(l.present)
+	for i := uint64(0); i < n; i++ {
+		ln, err := dec.Uvarint()
+		if err != nil {
+			return err
+		}
+		l.present[ln] = struct{}{}
+	}
+	return nil
+}

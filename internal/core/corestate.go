@@ -1,9 +1,8 @@
 package core
 
 import (
-	"math/rand"
-
 	"simany/internal/cache"
+	"simany/internal/rng"
 	"simany/internal/timing"
 	"simany/internal/vtime"
 )
@@ -22,8 +21,9 @@ type Core struct {
 
 	// rng is the core's private random stream (seed ^ coreID splitmix):
 	// draws by simulated code stay deterministic regardless of how shards
-	// are scheduled on host threads.
-	rng *rand.Rand
+	// are scheduled on host threads. It is a serializable rng.Rand so its
+	// exact stream position survives a checkpoint/restore round trip.
+	rng *rng.Rand
 
 	vt   vtime.Time // current virtual time (meaningful while busy)
 	idle bool
@@ -54,6 +54,12 @@ type Core struct {
 	schedKey vtime.Time
 
 	lockDepth int // >0: lock-holder exemption from spatial stalls
+
+	// lastHandled is the latest handled arrival stamp at this core, used
+	// for the out-of-order delivery statistic. It lives on the core (the
+	// per-shard root) rather than the kernel so it is plain per-shard
+	// state: sendNow always runs in the destination shard's context.
+	lastHandled vtime.Time
 
 	births     map[uint64]vtime.Time // birth stamps of spawned, not-yet-started tasks
 	birthCache vtime.Time            // min of births, Inf if none
@@ -109,7 +115,7 @@ func (c *Core) Stats() CoreStats { return c.stats }
 // code (runtime policies, benchmark task bodies) must draw from here
 // rather than Kernel.Rand so results do not depend on the interleaving of
 // shard workers.
-func (c *Core) Rand() *rand.Rand { return c.rng }
+func (c *Core) Rand() *rng.Rand { return c.rng }
 
 // Neighbors returns the core's topological neighbors.
 func (c *Core) Neighbors() []int { return c.neighbors }

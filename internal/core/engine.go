@@ -57,6 +57,13 @@ type domain struct {
 	roundSteps int
 	stepsTotal int64
 
+	// Message-delivery statistics, owned by this domain: sendNow always
+	// runs either on the worker driving the destination's shard or inside
+	// the single-threaded barrier, so plain counters suffice and the state
+	// stays reachable from the per-shard root for checkpointing.
+	oooMsgs int64
+	handled int64
+
 	// Goroutine/struct pools for the task lifecycle hot path. Both are
 	// owned-state in the shard-safety sense: pushed in step's yieldDone
 	// branch and popped in startTask/NewTask, which all run in the owning

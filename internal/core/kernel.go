@@ -12,6 +12,8 @@ import (
 	"simany/internal/cache"
 	"simany/internal/metrics"
 	"simany/internal/network"
+	"simany/internal/rng"
+	"simany/internal/snap"
 	"simany/internal/timing"
 	"simany/internal/topology"
 	"simany/internal/vtime"
@@ -35,6 +37,10 @@ func (NullMem) Access(*Core, uint64, int64, int, bool, vtime.Time) vtime.Time { 
 
 // ShardSafe implements ShardSafeMem: NullMem is stateless.
 func (NullMem) ShardSafe() bool { return true }
+
+// MemStateless implements StatelessMem: NullMem carries no mutable state,
+// so decode-mode checkpoints need nothing from it.
+func (NullMem) MemStateless() bool { return true }
 
 // ShardSafeMem is implemented by memory systems whose Access method only
 // mutates state owned by the accessing core (its L1/L2), making them safe
@@ -123,6 +129,7 @@ type Config struct {
 }
 
 // DefaultT is the paper's reference maximum local drift (100 cycles).
+//lint:allow snapshotsafe immutable configuration default, read only at kernel construction
 var DefaultT = vtime.CyclesInt(100)
 
 // Kernel is the discrete-event simulator.
@@ -171,10 +178,25 @@ type Kernel struct {
 	panicMu   sync.Mutex
 	taskPanic error
 
-	// out-of-order statistics: arrivals handled per destination.
-	lastHandled []vtime.Time
-	oooMsgs     atomic.Int64
-	handled     atomic.Int64
+	// Checkpoint machinery (snapshot.go). barriers counts completed
+	// sharded rounds; the engine position is barriers on the sharded
+	// engine and the step count on the sequential one. stopAfter, when
+	// non-zero, pauses the engine (Run returns ErrPaused) once the
+	// position reaches it; paused records that the kernel sits at such a
+	// quiescent point, the only state where Checkpoint is legal. resume
+	// holds a parsed checkpoint armed by ArmResume, consumed by the next
+	// Run. fprint is the configuration fingerprint embedded in
+	// checkpoint files.
+	barriers  int64
+	stopAfter int64
+	paused    bool
+	resume    *snap.Container
+	fprint    uint64
+	// taskCodec serializes task bodies/meta for the layer that owns them
+	// (SetTaskCodec); extSnaps are externally registered checkpoint
+	// sections (RegisterSnapshot), written in registration order.
+	taskCodec TaskCodec
+	extSnaps  []namedSnap
 
 	// bcheck, when non-nil, arms continuous barrier validation (see
 	// barriercheck.go). diam caches Topology.Diameter (-2 = not computed).
@@ -207,6 +229,35 @@ func splitmix64(x uint64) uint64 {
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	return x ^ (x >> 31)
+}
+
+// fingerprint hashes the configuration fields that define the simulation's
+// event semantics. A checkpoint is only resumable into a kernel with the
+// same fingerprint; Workers and Sched are deliberately excluded because
+// they never affect results.
+func fingerprint(cfg Config) uint64 {
+	h := splitmix64(uint64(cfg.Seed))
+	mix := func(v uint64) { h = splitmix64(h ^ v) }
+	mix(uint64(cfg.Topo.N()))
+	mix(uint64(cfg.Shards))
+	mix(uint64(cfg.MaxSteps))
+	//lint:allow rawvtime fingerprint hashing: the millicycle values are mixed into a hash, never used as times
+	mix(uint64(cfg.TaskStartCost))
+	//lint:allow rawvtime fingerprint hashing of a configured cost constant
+	mix(uint64(cfg.CtxSwitchCost))
+	//lint:allow rawvtime fingerprint hashing of a configured quantum constant
+	mix(uint64(cfg.ShardQuantum))
+	for _, b := range []byte(cfg.Policy.Name()) {
+		mix(uint64(b))
+	}
+	if sp, ok := cfg.Policy.(Spatial); ok {
+		//lint:allow rawvtime fingerprint hashing of the policy's drift bound constant
+		mix(uint64(sp.T))
+	}
+	for _, s := range cfg.Speeds {
+		mix(uint64(int64(s * 1e6)))
+	}
+	return h
 }
 
 // New builds a kernel from a configuration.
@@ -249,10 +300,10 @@ func New(cfg Config) *Kernel {
 		taskStartCost: cfg.TaskStartCost,
 		ctxSwitchCost: cfg.CtxSwitchCost,
 		maxSteps:      cfg.MaxSteps,
-		lastHandled:   make([]vtime.Time, n),
 		tracer:        cfg.Tracer,
 		diam:          -2,
 	}
+	k.fprint = fingerprint(cfg)
 	k.cores = make([]*Core, n)
 	for i := 0; i < n; i++ {
 		speed := 1.0
@@ -279,7 +330,7 @@ func New(cfg Config) *Kernel {
 			readyMin:   vtime.Inf,
 			contsMin:   vtime.Inf,
 			schedPos:   -1,
-			rng:        rand.New(rand.NewSource(int64(splitmix64(uint64(cfg.Seed) ^ uint64(i))))),
+			rng:        rng.New(splitmix64(uint64(cfg.Seed) ^ uint64(i))),
 		}
 		c.nbEff = make([]vtime.Time, len(c.neighbors))
 		for j := range c.nbEff {
@@ -507,6 +558,10 @@ func (k *Kernel) send(msg network.Message) network.Message {
 }
 
 // sendNow routes a message and immediately runs the destination handler.
+// It always executes in the context of the shard owning the full route
+// (intra-shard deliveries run on that shard's worker, cross-shard ones
+// inside the single-threaded barrier), so the per-destination arrival
+// bookkeeping and the per-shard handled counters need no atomics.
 func (k *Kernel) sendNow(msg network.Message) network.Message {
 	msg = k.net.Send(msg)
 	k.cores[msg.Src].stats.MsgsSent++
@@ -514,11 +569,12 @@ func (k *Kernel) sendNow(msg network.Message) network.Message {
 	if !ok {
 		panic(fmt.Sprintf("core: no handler for message kind %d", msg.Kind))
 	}
-	k.handled.Add(1)
-	if msg.Arrival < k.lastHandled[msg.Dst] {
-		k.oooMsgs.Add(1)
+	dst := k.cores[msg.Dst]
+	dst.dom.handled++
+	if msg.Arrival < dst.lastHandled {
+		dst.dom.oooMsgs++
 	} else {
-		k.lastHandled[msg.Dst] = msg.Arrival
+		dst.lastHandled = msg.Arrival
 	}
 	if k.tracer != nil {
 		k.emit(TraceSend, msg.Stamp, msg.Src, nil, int64(msg.Dst))
@@ -766,7 +822,27 @@ type Result struct {
 // Run drives the simulation to quiescence: every injected task (and every
 // task transitively created) has finished. It returns an error on deadlock
 // or when a task panicked.
+//
+// When a checkpoint has been armed with ArmResume, Run first restores the
+// checkpointed state (by direct decode or by verified replay, see
+// snapshot.go) and then continues to quiescence. When a pause position has
+// been set with PauseAfter, Run returns ErrPaused at the corresponding
+// quiescent point instead; the kernel may then be checkpointed and Run
+// called again to continue.
 func (k *Kernel) Run() (Result, error) {
+	if k.resume != nil {
+		ck := k.resume
+		k.resume = nil
+		if err := k.applyResume(ck); err != nil {
+			return Result{}, err
+		}
+	}
+	return k.runEngine()
+}
+
+// runEngine drives the active engine loop once (no resume handling).
+func (k *Kernel) runEngine() (Result, error) {
+	k.paused = false
 	defer k.stopWorkers()
 	k.schedRebuild()
 	if k.sharded {
@@ -774,6 +850,27 @@ func (k *Kernel) Run() (Result, error) {
 	}
 	return k.runSeq()
 }
+
+// PauseAfter arms a pause position: the engine returns ErrPaused from Run
+// once pos is reached, leaving the kernel at a quiescent, checkpointable
+// point. The position counts completed barriers on the sharded engine and
+// completed scheduling steps on the sequential one (see Position). Zero
+// disarms.
+func (k *Kernel) PauseAfter(pos int64) { k.stopAfter = pos }
+
+// Position returns the engine position: completed barriers (sharded) or
+// completed scheduling steps (sequential). Checkpoint files record it so a
+// resumed replay pauses at exactly the same point.
+func (k *Kernel) Position() int64 {
+	if k.sharded {
+		return k.barriers
+	}
+	return k.steps.Load()
+}
+
+// Paused reports whether the kernel sits at a pause point (Run returned
+// ErrPaused and nothing ran since).
+func (k *Kernel) Paused() bool { return k.paused }
 
 // stopWorkers retires the parked worker goroutines pooled on each domain so
 // a completed run leaves nothing behind. Workers still attached to blocked
@@ -802,14 +899,16 @@ func (k *Kernel) liveTasks() int64 {
 func (k *Kernel) result() Result {
 	msgs, hops, bytes := k.net.Stats()
 	r := Result{
-		FinalVT:    k.MaxTime(),
-		Steps:      k.steps.Load(),
-		Messages:   msgs,
-		Hops:       hops,
-		Bytes:      bytes,
-		OutOfOrder: k.oooMsgs.Load(),
-		Handled:    k.handled.Load(),
-		Shards:     len(k.domains),
+		FinalVT:  k.MaxTime(),
+		Steps:    k.steps.Load(),
+		Messages: msgs,
+		Hops:     hops,
+		Bytes:    bytes,
+		Shards:   len(k.domains),
+	}
+	for _, d := range k.domains {
+		r.OutOfOrder += d.oooMsgs
+		r.Handled += d.handled
 	}
 	for _, c := range k.cores {
 		r.Stalls += c.stats.Stalls

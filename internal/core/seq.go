@@ -18,6 +18,13 @@ func (k *Kernel) runSeq() (Result, error) {
 		if k.maxSteps > 0 && k.steps.Load() >= k.maxSteps {
 			return Result{}, fmt.Errorf("core: exceeded %d scheduling steps", k.maxSteps)
 		}
+		if k.stopAfter > 0 && k.steps.Load() >= k.stopAfter {
+			// Between steps the sequential engine is trivially quiescent
+			// (handlers run synchronously inside steps); this is its
+			// checkpoint-legal point.
+			k.paused = true
+			return k.result(), ErrPaused
+		}
 		c := d.pickCore(vtime.Inf)
 		if c == nil {
 			if d.live == 0 {

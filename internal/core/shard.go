@@ -73,6 +73,14 @@ func (k *Kernel) runShard() (Result, error) {
 				return Result{}, err
 			}
 		}
+		k.barriers++
+		if k.stopAfter > 0 && k.barriers >= k.stopAfter {
+			// The barrier sequence above has fully quiesced the machine:
+			// outboxes drained, proxies refreshed, traces flushed. This is
+			// the one point where a checkpoint is legal.
+			k.paused = true
+			return k.result(), ErrPaused
+		}
 	}
 }
 

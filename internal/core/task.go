@@ -69,6 +69,12 @@ func (t *Task) ReleaseOnDone() *Task {
 // State returns the task's lifecycle state.
 func (t *Task) State() TaskState { return t.state }
 
+// Started reports whether the task's body has begun executing. A task
+// codec uses it together with State to tell how a checkpointed task was
+// parked: TaskRunning = stalled in place, started-but-not-running =
+// parked in (or woken from) a Block, unstarted = fresh.
+func (t *Task) Started() bool { return t.started }
+
 // Core returns the core the task is placed on.
 func (t *Task) Core() *Core { return t.core }
 
@@ -134,6 +140,12 @@ func (e *Env) checkHorizon() {
 		e.yield(yieldStalled)
 	}
 }
+
+// EnforceHorizon re-enters the stall loop explicitly. Restored task bodies
+// (rt's step interpreter) call it when resuming from a serialized
+// stalled-at-horizon point, so a restored task parks with exactly the
+// original's stall accounting.
+func (e *Env) EnforceHorizon() { e.checkHorizon() }
 
 // Compute executes an annotated instruction block: the per-class costs
 // plus probabilistic branch misprediction penalties (§II.A "Timing

@@ -30,6 +30,7 @@ const (
 	TraceUnblock
 )
 
+//lint:allow snapshotsafe immutable lookup table, written nowhere
 var traceKindNames = [...]string{
 	"task-start", "task-resume", "task-stall", "task-block", "task-end",
 	"send", "handle", "unblock",

@@ -46,6 +46,7 @@ func Analyzers() []*Analyzer {
 		HomeShard,
 		RawVtime,
 		LockDiscipline,
+		SnapshotSafe,
 	}
 }
 

@@ -70,6 +70,7 @@ func TestAnalyzerCorpora(t *testing.T) {
 		{"homeshard", "simany/internal/hs", HomeShard, 0},
 		{"rawvtime", "simany/internal/rvbad", RawVtime, 1},
 		{"lockdiscipline", "simany/internal/rt", LockDiscipline, 1},
+		{"snapshotsafe", "simany/internal/core", SnapshotSafe, 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SnapshotSafe flags mutable package-level state in the simulator's
+// checkpointed packages (core, rt, network, drift). The checkpoint
+// contract (docs/checkpoint.md) requires every piece of mutable
+// simulation state to be reachable from a per-shard root the kernel
+// serializes — a Core/domain, or a component registered through
+// Kernel.RegisterSnapshot. A package-level variable lives outside every
+// root: it silently survives a restore with its pre-restore value, which
+// breaks the byte-identical resume guarantee the moment anything reads
+// it. State must move into a Snapshottable component; genuinely immutable
+// configuration (defaults set before Run and never written afterwards)
+// documents itself with //lint:allow snapshotsafe.
+//
+// Exempt without annotation: blank vars (compile-time interface
+// assertions hold no state) and error-typed vars (sentinel errors are
+// write-once identities, compared by pointer, never mutated).
+var SnapshotSafe = &Analyzer{
+	Name: "snapshotsafe",
+	Doc:  "flag mutable package-level state outside the per-shard checkpoint roots in core/rt/network/drift",
+	Run:  runSnapshotSafe,
+}
+
+func runSnapshotSafe(prog *Program, p *Package, r *Reporter) {
+	if !p.isInternal(prog, "core", "rt", "network", "drift") {
+		return
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok.String() != "var" {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue // interface assertion, no storage
+					}
+					obj := p.Info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if types.Identical(obj.Type(), errType) {
+						continue // sentinel error, write-once identity
+					}
+					r.Report(name.Pos(), "snapshotsafe",
+						"package-level var %s is mutable state outside every per-shard checkpoint root; move it into a Snapshottable component, or mark immutable configuration with //lint:allow snapshotsafe",
+						name.Name)
+				}
+			}
+		}
+	}
+}

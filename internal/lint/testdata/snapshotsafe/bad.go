@@ -1,0 +1,62 @@
+// Corpus for the snapshotsafe analyzer. Loaded under the fake import path
+// simany/internal/core, so the package is inside the checkpointed set.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Plain mutable scalars escape every per-shard checkpoint root.
+var stepCounter int64 // want:snapshotsafe
+
+// Reference types are mutable state regardless of whether the binding
+// itself is reassigned.
+var seen = map[string]int{} // want:snapshotsafe
+
+var sharedBuf []byte // want:snapshotsafe
+
+// Synchronization primitives are mutable state too: a held lock cannot be
+// serialized.
+var mu sync.Mutex // want:snapshotsafe
+
+// Multiple names in one spec each get their own finding.
+var hits, misses int64 // want:snapshotsafe
+
+// Sentinel errors are exempt: write-once identities compared by pointer.
+var ErrExhausted = errors.New("core: exhausted")
+
+// Blank interface assertions hold no storage.
+var _ fmt.Stringer = named("")
+
+// Immutable configuration is the escape hatch's intended use.
+//lint:allow snapshotsafe tuning default, set before Run and never written
+var DefaultDepth = 16
+
+// Constants are not state.
+const maxDepth = 64
+
+type named string
+
+func (n named) String() string { return string(n) }
+
+func bump() {
+	stepCounter++
+	seen["x"]++
+	hits++
+	_ = misses
+	mu.Lock()
+	defer mu.Unlock()
+	sharedBuf = append(sharedBuf, 0)
+}
+
+// localOK is clean: function-local state lives on a task's stack, which
+// the checkpoint either serializes (step programs) or replays.
+func localOK() int {
+	local := 0
+	for i := 0; i < maxDepth; i++ {
+		local += i
+	}
+	return local + DefaultDepth
+}

@@ -21,7 +21,8 @@ import (
 // never be applied ahead of its increment.
 type Group struct {
 	r       *Runtime
-	home    int // arbitration core; all state below is home-shard-owned
+	home    int    // arbitration core; all state below is home-shard-owned
+	gid     uint64 // checkpoint registry id; 0 for unregistered (closure) groups
 	active  int
 	joiner  *core.Task
 	waiting bool

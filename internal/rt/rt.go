@@ -115,6 +115,15 @@ type Runtime struct {
 	reservations []int   // outstanding accepted probes per core
 	rr           []int   // round-robin candidate cursor per core
 
+	// Step-program machinery (step.go, snapshot.go): the registered
+	// program table (configuration), the checkpoint group registry with
+	// its deterministic id source, and the decode-time group re-binding
+	// work list.
+	programs map[string]*Program
+	sgroups  map[uint64]*Group
+	nextGid  uint64
+	binds    []groupBind
+
 	stats Stats
 }
 
@@ -122,6 +131,7 @@ type Runtime struct {
 type taskMeta struct {
 	group *Group
 	probe *probeReply
+	step  *stepState // non-nil for step-program bodies (step.go)
 }
 
 func metaOf(t *core.Task) *taskMeta {
@@ -175,6 +185,9 @@ func New(k *core.Kernel, alloc *mem.Allocator, opt Options) *Runtime {
 		nbs:          make([][]int, n),
 		reservations: make([]int, n),
 		rr:           make([]int, n),
+		programs:     make(map[string]*Program),
+		sgroups:      make(map[uint64]*Group),
+		nextGid:      1,
 	}
 	for i := 0; i < n; i++ {
 		r.nbs[i] = k.Topology().Neighbors(i)
@@ -195,6 +208,8 @@ func New(k *core.Kernel, alloc *mem.Allocator, opt Options) *Runtime {
 	k.SetTaskStartHook(func(c *core.Core, t *core.Task) {
 		r.broadcastOcc(c.ID, c.QueueLength(), c.VT())
 	})
+	k.SetTaskCodec(taskCodec{r})
+	k.RegisterSnapshot("rt", r)
 	return r
 }
 
@@ -247,8 +262,14 @@ func (r *Runtime) wrap(g *Group, fn func(*core.Env)) func(*core.Env) {
 	}
 }
 
-// Run injects the root task and drives the simulation to completion.
+// Run injects the root task and drives the simulation to completion. When
+// the kernel has a decode-mode resume armed, the restored state already
+// contains the whole task tree, so root is not injected (it must still be
+// the same program — the configuration fingerprint enforces the rest).
 func (r *Runtime) Run(name string, root func(*core.Env)) (core.Result, error) {
+	if r.k.ResumeModeDecode() {
+		return r.k.Run()
+	}
 	t := r.k.NewTask(r.opt.RootCore, name, r.wrap(nil, root), &taskMeta{}).ReleaseOnDone()
 	r.k.PlaceTask(t, r.opt.RootCore, 0, nil)
 	return r.k.Run()

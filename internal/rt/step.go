@@ -1,0 +1,415 @@
+package rt
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"simany/internal/core"
+	"simany/internal/timing"
+)
+
+// Step programs are the runtime's explicit resumption-step representation
+// of task bodies: instead of an opaque Go closure, a task body is a named
+// Program — a list of Step functions driven by a small interpreter over a
+// serializable frame stack (program name, step index, integer registers).
+// Every point where such a task can park (a policy-horizon stall inside a
+// charge, the probe wait of a conditional spawn, a group join) is a known
+// stage of the interpreter, so a parked task is fully described by the
+// (task ID, continuation point) pair the checkpoint format stores: the
+// frame stack plus the in-flight Action and its stage. That is what makes
+// pure-decode checkpoint restore possible; closure bodies fall back to
+// verified replay.
+//
+// Step functions receive the Env only as context (Now, CoreID) and the
+// current Frame's registers to compute on; all simulator interaction —
+// timing charges, memory traffic, spawning, joining — must be expressed
+// through the returned Action. A Step that calls a parking Env method
+// (Compute, Read, Block, ...) directly would park the task at a point the
+// codec cannot describe.
+
+// Frame is one activation record of the step interpreter.
+type Frame struct {
+	prog *Program
+	pc   int
+	// Regs are the frame's integer registers: the only mutable state a
+	// Step may carry between steps (they serialize with the task).
+	Regs []int64
+}
+
+// Program names the frame's program.
+func (f *Frame) Program() string { return f.prog.Name }
+
+// PC returns the index of the executing step.
+func (f *Frame) PC() int { return f.pc }
+
+// Step is one instruction of a Program. It may mutate f.Regs and must
+// route every simulator effect through the returned Action.
+type Step func(e *core.Env, f *Frame) Action
+
+// Program is a registered task body: an immutable list of steps addressed
+// by index. Programs are configuration, not state — a checkpoint stores
+// only program names, and resume requires the same registrations.
+type Program struct {
+	Name  string
+	Steps []Step
+}
+
+// RegisterProgram makes p spawnable and checkpoint-resolvable. Programs
+// must be registered before Run (and identically before a resume).
+func (r *Runtime) RegisterProgram(p *Program) {
+	if p.Name == "" || len(p.Steps) == 0 {
+		panic("rt: step program needs a name and at least one step")
+	}
+	if _, dup := r.programs[p.Name]; dup {
+		panic("rt: step program " + p.Name + " registered twice")
+	}
+	r.programs[p.Name] = p
+}
+
+func (r *Runtime) program(name string) *Program {
+	p, ok := r.programs[name]
+	if !ok {
+		panic(fmt.Sprintf("rt: step program %q not registered", name))
+	}
+	return p
+}
+
+// stepOp is the control part of an Action.
+type stepOp uint8
+
+const (
+	opNext stepOp = iota // continue at the continuation PC
+	opHalt               // frame done (pop, or task end for the root frame)
+	opCall               // run a program inline in a pushed frame
+	opSpawn              // conditional spawn (probe/spawn, inline on denial)
+	opJoin               // join the task's group
+)
+
+// Action is a Step's returned effect: optional charges (applied in read,
+// compute, write order) followed by one control operation. The zero Action
+// is "fall through to the next step".
+type Action struct {
+	op     stepOp
+	abs    bool // target is an absolute PC (otherwise continuation = pc+1)
+	target int
+
+	proc     string  // callee / child program (Call, Spawn)
+	regs     []int64 // child registers
+	argBytes int     // extra TASK_SPAWN payload bytes (Spawn)
+
+	counts              timing.Counts
+	cycles              float64
+	readBase, writeBase uint64
+	readN, writeN       int64
+	readElem, writeElem int
+}
+
+// Next continues at the following step.
+func Next() Action { return Action{op: opNext} }
+
+// Goto continues at step pc.
+func Goto(pc int) Action { return Action{op: opNext, abs: true, target: pc} }
+
+// Done ends the current frame: a called/inlined frame returns to its
+// caller, the root frame ends the task.
+func Done() Action { return Action{op: opHalt} }
+
+// Call runs program proc to completion in a pushed frame (its own scope
+// for the pessimistic L1, like any task body), then continues.
+func Call(proc string, regs ...int64) Action {
+	return Action{op: opCall, proc: proc, regs: regs}
+}
+
+// Spawn conditionally spawns program proc as a new task of the caller's
+// group (the probe/spawn protocol of §IV); on denial the program runs
+// inline in a pushed frame. argBytes sizes the TASK_SPAWN payload beyond
+// the base task descriptor.
+func Spawn(proc string, argBytes int, regs ...int64) Action {
+	return Action{op: opSpawn, proc: proc, argBytes: argBytes, regs: regs}
+}
+
+// Join waits for every task in the caller's group to finish, then
+// continues.
+func Join() Action { return Action{op: opJoin} }
+
+// Then sets an absolute continuation PC (default: the following step).
+func (a Action) Then(pc int) Action { a.abs, a.target = true, pc; return a }
+
+// Exec charges an annotated instruction block before the control op.
+func (a Action) Exec(c timing.Counts) Action { a.counts = c; return a }
+
+// Cycles charges a raw cycle count before the control op.
+func (a Action) Cycles(n float64) Action { a.cycles = n; return a }
+
+// Reads charges n data reads of elem bytes from base before the compute
+// charge.
+func (a Action) Reads(base uint64, n int64, elem int) Action {
+	a.readBase, a.readN, a.readElem = base, n, elem
+	return a
+}
+
+// Writes charges n data writes of elem bytes to base after the compute
+// charge.
+func (a Action) Writes(base uint64, n int64, elem int) Action {
+	a.writeBase, a.writeN, a.writeElem = base, n, elem
+	return a
+}
+
+// nextPC resolves the continuation PC committed before the action runs.
+func (a Action) nextPC(pc int) int {
+	if a.op == opHalt {
+		return -1
+	}
+	if a.abs {
+		return a.target
+	}
+	return pc + 1
+}
+
+// Interpreter stages of an in-flight Action. The invariant that makes
+// parked tasks serializable: the stage (and the frame PC) always name the
+// NEXT sub-operation before the current, possibly-parking one starts, so
+// a task serialized while parked resumes by re-entering the park point and
+// then continuing the stage machine.
+const (
+	stRead      uint8 = iota // apply the read charge
+	stCompute                // apply the compute charge
+	stWrite                  // apply the write charge
+	stCtl                    // run the control op
+	stProbeWait              // spawn: probe sent, consume the reply
+	stInline                 // spawn denied / no candidate: push child frame
+	stJoined                 // join returned
+)
+
+// parkKind tells a restored task how to re-enter its park point.
+type parkKind uint8
+
+const (
+	parkNone    parkKind = iota // fresh task: run from the first step
+	parkStalled                 // parked in the horizon stall loop
+	parkBlocked                 // parked in (or woken from) a Block
+)
+
+// stepState is a step task's complete mutable body state — everything
+// beyond the kernel's generic task fields that the codec serializes.
+type stepState struct {
+	stack   []*Frame
+	pend    Action // in-flight action (valid while pending)
+	stage   uint8
+	pending bool
+	entered bool // the body's own L1 scope is open
+	member  bool // task is a group member (decrements active at the end)
+
+	// reentry is transient decode-time state, never serialized: how the
+	// restored body re-enters its park point on first execution.
+	reentry parkKind
+}
+
+// stepBody wraps a stepState as a kernel task body.
+func (r *Runtime) stepBody(st *stepState) func(*core.Env) {
+	return func(e *core.Env) { r.runSteps(e, st) }
+}
+
+// RunProgram injects program proc (with the given root registers) as the
+// root task under a fresh group and drives the simulation to completion.
+// It is the step-program counterpart of Run. When the kernel has a
+// decode-mode resume armed, the whole task tree — including the root — is
+// part of the restored state, so nothing is injected.
+func (r *Runtime) RunProgram(taskName, proc string, regs ...int64) (core.Result, error) {
+	if r.k.ResumeModeDecode() {
+		return r.k.Run()
+	}
+	p := r.program(proc)
+	g := r.newStepGroup(r.opt.RootCore)
+	st := &stepState{stack: []*Frame{{prog: p, Regs: append([]int64(nil), regs...)}}}
+	t := r.k.NewTask(r.opt.RootCore, taskName, r.stepBody(st), &taskMeta{group: g, step: st}).ReleaseOnDone()
+	r.k.PlaceTask(t, r.opt.RootCore, 0, nil)
+	return r.k.Run()
+}
+
+// newStepGroup creates a group in the checkpoint registry: step-program
+// groups get deterministic non-zero ids so serialized tasks can name them.
+func (r *Runtime) newStepGroup(home int) *Group {
+	gid := r.nextGid
+	r.nextGid++
+	g := &Group{r: r, home: home, gid: gid}
+	r.sgroups[gid] = g
+	return g
+}
+
+// runSteps is the interpreter: the body of every step task.
+func (r *Runtime) runSteps(e *core.Env, st *stepState) {
+	switch st.reentry {
+	case parkStalled:
+		// The original parked inside the horizon stall loop of a charge:
+		// the charge is fully applied (advance moves the clock before
+		// stalling), so re-entering the loop reproduces the park exactly.
+		st.reentry = parkNone
+		e.EnforceHorizon()
+	case parkBlocked:
+		// The original parked in a Block; the engine resume that woke this
+		// body IS the wake the original waited for. Continue directly.
+		st.reentry = parkNone
+	}
+	if !st.entered {
+		st.entered = true
+		e.EnterScope()
+	}
+	for {
+		if st.pending {
+			r.applyPend(e, st)
+			continue
+		}
+		if len(st.stack) == 0 {
+			break
+		}
+		f := st.stack[len(st.stack)-1]
+		if f.pc < 0 {
+			st.stack = st.stack[:len(st.stack)-1]
+			if len(st.stack) > 0 {
+				// Pushed (call/inline) frames run in their own scope.
+				e.LeaveScope()
+			}
+			continue
+		}
+		if f.pc >= len(f.prog.Steps) {
+			panic(fmt.Sprintf("rt: program %q ran off the end (pc %d)", f.prog.Name, f.pc))
+		}
+		act := f.prog.Steps[f.pc](e, f)
+		// Commit the continuation point before applying: a park inside the
+		// action serializes as (frame at continuation, action stage).
+		f.pc = act.nextPC(f.pc)
+		st.pend = act
+		st.stage = stRead
+		st.pending = true
+	}
+	e.LeaveScope()
+	if st.member {
+		if g := metaOf(e.Task()).group; g != nil {
+			g.taskEnded(e)
+		}
+	}
+}
+
+// applyPend drives the in-flight action's stage machine to completion.
+// Every case advances st.stage before invoking anything that can park.
+func (r *Runtime) applyPend(e *core.Env, st *stepState) {
+	for st.pending {
+		switch st.stage {
+		case stRead:
+			st.stage = stCompute
+			if st.pend.readN > 0 {
+				e.Read(st.pend.readBase, st.pend.readN, st.pend.readElem)
+			}
+		case stCompute:
+			st.stage = stWrite
+			if st.pend.cycles > 0 {
+				e.ComputeCycles(st.pend.cycles)
+			} else if st.pend.counts != (timing.Counts{}) {
+				e.Compute(st.pend.counts)
+			}
+		case stWrite:
+			st.stage = stCtl
+			if st.pend.writeN > 0 {
+				e.Write(st.pend.writeBase, st.pend.writeN, st.pend.writeElem)
+			}
+		case stCtl:
+			r.applyControl(e, st)
+		case stProbeWait:
+			r.finishSpawn(e, st)
+		case stInline:
+			st.pending = false
+			r.pushFrame(e, st, st.pend.proc, st.pend.regs)
+		case stJoined:
+			st.pending = false
+		default:
+			panic("rt: corrupt step stage")
+		}
+	}
+}
+
+// applyControl runs the action's control operation.
+func (r *Runtime) applyControl(e *core.Env, st *stepState) {
+	switch st.pend.op {
+	case opNext, opHalt:
+		st.pending = false
+	case opCall:
+		st.pending = false
+		r.pushFrame(e, st, st.pend.proc, st.pend.regs)
+	case opJoin:
+		g := metaOf(e.Task()).group
+		if g == nil {
+			panic("rt: Join step in a task with no group")
+		}
+		st.stage = stJoined
+		r.Join(e, g)
+	case opSpawn:
+		r.beginSpawn(e, st)
+	default:
+		panic("rt: unknown step op")
+	}
+}
+
+// pushFrame opens a scope and activates program proc with its own
+// registers (copied: the frame owns them).
+func (r *Runtime) pushFrame(e *core.Env, st *stepState, proc string, regs []int64) {
+	p := r.program(proc)
+	e.EnterScope()
+	st.stack = append(st.stack, &Frame{prog: p, Regs: append([]int64(nil), regs...)})
+}
+
+// beginSpawn mirrors SpawnOrRun up to the park point: candidate check,
+// probe send, block. The two possible parks (the proxy-check charge and
+// the probe wait) resume at stInline and stProbeWait respectively.
+func (r *Runtime) beginSpawn(e *core.Env, st *stepState) {
+	me := e.CoreID()
+	cand := r.pickCandidate(me)
+	if cand < 0 {
+		atomic.AddInt64(&r.stats.LocalRuns, 1)
+		st.stage = stInline
+		e.ComputeCycles(2) // proxy check only: cheap, no traffic
+		return
+	}
+	atomic.AddInt64(&r.stats.Probes, 1)
+	st.stage = stProbeWait
+	e.Send(cand, KindProbe, r.opt.ProbeSize, &probeMsg{requester: e.Task(), reqCore: me})
+	e.Block()
+}
+
+// finishSpawn mirrors SpawnOrRun after the probe wait: consume the reply,
+// either ship a fresh step task (same group as the parent) or fall back to
+// an inline frame.
+func (r *Runtime) finishSpawn(e *core.Env, st *stepState) {
+	me := e.CoreID()
+	meta := metaOf(e.Task())
+	rep := meta.probe
+	meta.probe = nil
+	if rep == nil {
+		panic("rt: probe reply lost")
+	}
+	fromIdx := r.nbIndex(me, rep.from)
+	r.occ[me][fromIdx] = rep.queueLen
+	if !rep.ok {
+		atomic.AddInt64(&r.stats.Denied, 1)
+		atomic.AddInt64(&r.stats.LocalRuns, 1)
+		st.stage = stInline
+		return
+	}
+	g := meta.group
+	birth := e.Now()
+	if g != nil {
+		g.addFrom(me, birth, 1)
+	}
+	childState := &stepState{
+		stack:  []*Frame{{prog: r.program(st.pend.proc), Regs: append([]int64(nil), st.pend.regs...)}},
+		member: true,
+	}
+	child := r.k.NewTask(me, st.pend.proc, r.stepBody(childState),
+		&taskMeta{group: g, step: childState}).ReleaseOnDone()
+	r.k.RegisterBirth(r.k.Core(me), child, birth)
+	r.occ[me][fromIdx] = rep.queueLen + 1
+	e.Send(rep.from, KindTaskSpawn, r.opt.SpawnBaseSize+st.pend.argBytes,
+		&spawnMsg{task: child, birthOwner: r.k.Core(me)})
+	atomic.AddInt64(&r.stats.Spawns, 1)
+	st.pending = false
+}

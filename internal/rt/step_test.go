@@ -1,0 +1,255 @@
+package rt
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"simany/internal/core"
+	"simany/internal/mem"
+	"simany/internal/metrics"
+	"simany/internal/snap"
+	"simany/internal/timing"
+	"simany/internal/topology"
+	"simany/internal/trace"
+)
+
+// stepEnv is a fully-observed kernel plus runtime with the test step
+// programs registered — the fixture for decode-mode checkpoint tests.
+type stepEnv struct {
+	k   *core.Kernel
+	r   *Runtime
+	rec *trace.Recorder
+	reg *metrics.Registry
+}
+
+func newStepEnv(shards, workers int, seed int64) *stepEnv {
+	rec := trace.NewRecorder(0)
+	reg := metrics.New()
+	k := core.New(core.Config{
+		Topo:    topology.Mesh(16),
+		Policy:  core.Spatial{T: core.DefaultT},
+		Mem:     mem.NewShared(),
+		Seed:    seed,
+		Shards:  shards,
+		Workers: workers,
+		Tracer:  rec,
+		Metrics: reg,
+	})
+	r := New(k, nil, DefaultOptions())
+	registerStepPrograms(r)
+	return &stepEnv{k: k, r: r, rec: rec, reg: reg}
+}
+
+// registerStepPrograms installs a fork/join workload expressed entirely as
+// step programs: the root spawns Regs[0] workers (falling back inline on
+// denial), joins, then runs a tail charge; each worker does a read-heavy
+// annotated block sized by its argument. Spawns, probe waits, inline
+// fallbacks, joins and horizon stalls are all exercised.
+func registerStepPrograms(r *Runtime) {
+	r.RegisterProgram(&Program{
+		Name: "work",
+		Steps: []Step{
+			func(e *core.Env, f *Frame) Action {
+				n := f.Regs[0]
+				return Done().
+					Reads(uint64(0x1000+n*64), 24+n%5, 8).
+					Exec(timing.Counts{timing.IntALU: 40 + n%7, timing.BranchCond: 12}).
+					Writes(uint64(0x8000+n*64), 8, 8)
+			},
+		},
+	})
+	r.RegisterProgram(&Program{
+		Name: "root",
+		Steps: []Step{
+			// 0: spawn loop — Regs[0] children left, Regs[1] = next child arg.
+			func(e *core.Env, f *Frame) Action {
+				if f.Regs[0] == 0 {
+					return Goto(1)
+				}
+				f.Regs[0]--
+				f.Regs[1]++
+				return Spawn("work", 16, f.Regs[1]).Then(0).Cycles(3)
+			},
+			// 1: wait for every child.
+			func(e *core.Env, f *Frame) Action { return Join() },
+			// 2: sequential tail via an inline call, then finish.
+			func(e *core.Env, f *Frame) Action { return Call("work", 99).Then(3) },
+			func(e *core.Env, f *Frame) Action { return Done().Cycles(20) },
+		},
+	})
+}
+
+func (s *stepEnv) run(t *testing.T) core.Result {
+	t.Helper()
+	res, err := s.r.RunProgram("steproot", "root", 24, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func stepMetricsText(t *testing.T, reg *metrics.Registry) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestStepProgramRuns sanity-checks the interpreter itself: the workload
+// completes, spreads over cores and reports spawn activity.
+func TestStepProgramRuns(t *testing.T) {
+	env := newStepEnv(4, 2, 11)
+	res := env.run(t)
+	if res.FinalVT <= 0 {
+		t.Fatalf("no virtual time elapsed: %+v", res)
+	}
+	st := env.r.Stats()
+	if st.Spawns == 0 || st.Probes == 0 {
+		t.Errorf("fork/join never spawned remotely: %+v", st)
+	}
+}
+
+// TestStepCheckpointDecodeMode is the tentpole's decode path end to end: a
+// workload whose every task body is a step program checkpoints in decode
+// mode, and a fresh kernel restores it WITHOUT re-running the prefix —
+// RunProgram injects nothing on a decode-armed kernel — yet the spliced
+// trace, metrics and result match an uninterrupted run exactly.
+func TestStepCheckpointDecodeMode(t *testing.T) {
+	const seed = 11
+	for _, shards := range []int{1, 4} {
+		// Uninterrupted reference.
+		full := newStepEnv(shards, 2, seed)
+		fullRes := full.run(t)
+		fullEvents := full.rec.Events()
+		fullMetrics := stepMetricsText(t, full.reg)
+		finalPos := full.k.Position()
+		if finalPos < 2 {
+			t.Fatalf("shards=%d: run too short to interrupt (position %d)", shards, finalPos)
+		}
+
+		mid := finalPos / 2
+		intr := newStepEnv(shards, 2, seed)
+		intr.k.PauseAfter(mid)
+		if _, err := intr.r.RunProgram("steproot", "root", 24, 0); !errors.Is(err, core.ErrPaused) {
+			t.Fatalf("shards=%d: expected ErrPaused, got %v", shards, err)
+		}
+		var buf bytes.Buffer
+		if err := intr.k.Checkpoint(&buf); err != nil {
+			t.Fatalf("shards=%d: checkpoint: %v", shards, err)
+		}
+		prefixEvents := intr.rec.Events()
+
+		ck, err := core.ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if ck.Mode != snap.ModeDecode {
+			t.Fatalf("shards=%d: all-step workload should checkpoint in decode mode, got %v", shards, ck.Mode)
+		}
+
+		res := newStepEnv(shards, 2, seed)
+		if err := res.k.ArmResume(ck); err != nil {
+			t.Fatalf("shards=%d: arming resume: %v", shards, err)
+		}
+		resRes, err := res.r.RunProgram("steproot", "root", 24, 0)
+		if err != nil {
+			t.Fatalf("shards=%d: resumed run: %v", shards, err)
+		}
+		if !reflect.DeepEqual(resRes, fullRes) {
+			t.Errorf("shards=%d: resumed Result diverged:\n  got  %+v\n  want %+v", shards, resRes, fullRes)
+		}
+		if got := stepMetricsText(t, res.reg); got != fullMetrics {
+			t.Errorf("shards=%d: resumed metrics diverged", shards)
+		}
+		resEvents := res.rec.Events()
+		if len(prefixEvents)+len(resEvents) != len(fullEvents) {
+			t.Fatalf("shards=%d: spliced trace has %d+%d events, full run %d",
+				shards, len(prefixEvents), len(resEvents), len(fullEvents))
+		}
+		for i, ev := range fullEvents {
+			var got core.TraceEvent
+			if i < len(prefixEvents) {
+				got = prefixEvents[i]
+			} else {
+				got = resEvents[i-len(prefixEvents)]
+			}
+			if got != ev {
+				t.Fatalf("shards=%d: trace diverged at event %d:\n  got  %+v\n  want %+v", shards, i, got, ev)
+			}
+		}
+	}
+}
+
+// TestStepCheckpointEveryBarrier hammers the park serialization: the
+// decode round trip must hold at EVERY barrier position, whatever mix of
+// stalled, probe-waiting, join-waiting and unstarted tasks that barrier
+// happens to catch.
+func TestStepCheckpointEveryBarrier(t *testing.T) {
+	const seed = 23
+	full := newStepEnv(4, 2, seed)
+	fullRes := full.run(t)
+	finalPos := full.k.Position()
+
+	for pos := int64(1); pos < finalPos; pos++ {
+		intr := newStepEnv(4, 2, seed)
+		intr.k.PauseAfter(pos)
+		if _, err := intr.r.RunProgram("steproot", "root", 24, 0); !errors.Is(err, core.ErrPaused) {
+			t.Fatalf("pos %d: expected ErrPaused, got %v", pos, err)
+		}
+		var buf bytes.Buffer
+		if err := intr.k.Checkpoint(&buf); err != nil {
+			t.Fatalf("pos %d: checkpoint: %v", pos, err)
+		}
+		ck, err := core.ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("pos %d: %v", pos, err)
+		}
+		if ck.Mode != snap.ModeDecode {
+			t.Fatalf("pos %d: expected decode mode, got %v", pos, ck.Mode)
+		}
+		res := newStepEnv(4, 2, seed)
+		if err := res.k.ArmResume(ck); err != nil {
+			t.Fatalf("pos %d: arming: %v", pos, err)
+		}
+		resRes, err := res.r.RunProgram("steproot", "root", 24, 0)
+		if err != nil {
+			t.Fatalf("pos %d: resumed run: %v", pos, err)
+		}
+		if !reflect.DeepEqual(resRes, fullRes) {
+			t.Fatalf("pos %d: result diverged:\n  got  %+v\n  want %+v", pos, resRes, fullRes)
+		}
+	}
+}
+
+// TestStepDecodeRequiresPrograms: resuming a decode checkpoint on a
+// runtime missing a program registration must fail cleanly, not misbehave.
+func TestStepDecodeRequiresPrograms(t *testing.T) {
+	intr := newStepEnv(4, 2, 11)
+	intr.k.PauseAfter(2)
+	if _, err := intr.r.RunProgram("steproot", "root", 24, 0); !errors.Is(err, core.ErrPaused) {
+		t.Fatalf("expected ErrPaused, got %v", err)
+	}
+	var buf bytes.Buffer
+	if err := intr.k.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := core.ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh kernel whose runtime has no programs registered.
+	k := core.New(core.Config{
+		Topo: topology.Mesh(16), Policy: core.Spatial{T: core.DefaultT},
+		Mem: mem.NewShared(), Seed: 11, Shards: 4, Workers: 2,
+	})
+	New(k, nil, DefaultOptions())
+	if err := k.ArmResume(ck); err == nil {
+		if _, err2 := k.Run(); err2 == nil {
+			t.Fatal("decode resume without program registrations succeeded")
+		}
+	}
+}

@@ -13,6 +13,7 @@ package timing
 import (
 	"math/rand"
 
+	"simany/internal/rng"
 	"simany/internal/vtime"
 )
 
@@ -133,14 +134,24 @@ type Predictor interface {
 // for realistic variance.
 type ProbabilisticPredictor struct {
 	Rate float64
-	rng  *rand.Rand
+	// rng is a serializable counter-based generator: its exact stream
+	// position is a single uint64, so predictor state survives a
+	// checkpoint/restore round trip.
+	rng *rng.Rand
 }
 
 // NewProbabilisticPredictor creates a predictor with the given success rate
 // and seed.
 func NewProbabilisticPredictor(rate float64, seed int64) *ProbabilisticPredictor {
-	return &ProbabilisticPredictor{Rate: rate, rng: rand.New(rand.NewSource(seed))}
+	return &ProbabilisticPredictor{Rate: rate, rng: rng.New(uint64(seed))}
 }
+
+// RngState exposes the predictor's random-stream position for
+// checkpointing.
+func (p *ProbabilisticPredictor) RngState() uint64 { return p.rng.State() }
+
+// SetRngState restores a checkpointed random-stream position.
+func (p *ProbabilisticPredictor) SetRngState(s uint64) { p.rng.SetState(s) }
 
 // samplingThreshold bounds the per-branch sampling work; larger blocks use
 // the expectation, which the law of large numbers makes indistinguishable.
