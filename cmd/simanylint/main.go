@@ -5,12 +5,15 @@
 //
 // Usage:
 //
-//	simanylint [-json] [-rules rule1,rule2] [packages...]
+//	simanylint [-json] [-graph] [-rules rule1,rule2] [packages...]
 //
 // Packages default to ./... relative to the enclosing module root.
 // Diagnostics print as file:line:col: rule: message; -json emits a
-// machine-readable array instead. Suppress a finding with a trailing (or
-// directly preceding) comment:
+// machine-readable object with "diagnostics" and "suppressed" arrays, the
+// latter listing every //lint:allow-silenced finding with its
+// justification so suppression creep is trackable in CI. -graph dumps the
+// module call graph the interprocedural analyzers run on and exits.
+// Suppress a finding with a trailing (or directly preceding) comment:
 //
 //	//lint:allow <rule>[,<rule>...] one-line justification
 //
@@ -23,23 +26,39 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"simany/internal/lint"
 )
 
+// report is the -json output shape.
+type report struct {
+	Diagnostics []lint.Diagnostic  `json:"diagnostics"`
+	Suppressed  []lint.Suppression `json:"suppressed"`
+}
+
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
-	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
-	list := flag.Bool("list", false, "list the available rules and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simanylint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics and suppressions as JSON")
+	graph := fs.Bool("graph", false, "dump the module call graph and exit")
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := fs.Bool("list", false, "list the available rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	analyzers := lint.Analyzers()
@@ -56,56 +75,66 @@ func main() {
 			}
 		}
 		for r := range want {
-			fmt.Fprintf(os.Stderr, "simanylint: unknown rule %q (see -list)\n", r)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "simanylint: unknown rule %q (see -list)\n", r)
+			return 2
 		}
 		analyzers = sel
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
 	root, err := lint.FindModuleRoot(".")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "simanylint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "simanylint: %v\n", err)
+		return 2
 	}
 	loader, err := lint.NewLoader(root)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "simanylint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "simanylint: %v\n", err)
+		return 2
 	}
 	prog, err := loader.Load(patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "simanylint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "simanylint: %v\n", err)
+		return 2
+	}
+
+	if *graph {
+		prog.CallGraph().Dump(stdout)
+		return 0
 	}
 
 	rep := lint.Run(prog, analyzers)
 	diags := rep.Diagnostics()
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if diags == nil {
-			diags = []lint.Diagnostic{}
+		out := report{Diagnostics: diags, Suppressed: rep.Suppressions()}
+		if out.Diagnostics == nil {
+			out.Diagnostics = []lint.Diagnostic{}
 		}
-		if err := enc.Encode(diags); err != nil {
-			fmt.Fprintf(os.Stderr, "simanylint: %v\n", err)
-			os.Exit(2)
+		if out.Suppressed == nil {
+			out.Suppressed = []lint.Suppression{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "simanylint: %v\n", err)
+			return 2
 		}
 	} else {
 		for _, d := range diags {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
 		if len(diags) > 0 || rep.Suppressed() > 0 {
-			fmt.Fprintf(os.Stderr, "simanylint: %d finding(s), %d suppressed, %d package(s)\n",
+			fmt.Fprintf(stderr, "simanylint: %d finding(s), %d suppressed, %d package(s)\n",
 				len(diags), rep.Suppressed(), len(prog.Pkgs))
 		}
 	}
 	if len(diags) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

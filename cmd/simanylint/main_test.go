@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestUnknownRuleExits2 pins the driver contract CI depends on: a typo in
+// -rules must fail loudly, not silently run nothing.
+func TestUnknownRuleExits2(t *testing.T) {
+	var out, errb strings.Builder
+	if got := run([]string{"-rules", "nosuchrule", "./internal/vtime"}, &out, &errb); got != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", got, errb.String())
+	}
+	if !strings.Contains(errb.String(), `unknown rule "nosuchrule"`) {
+		t.Errorf("stderr %q does not name the unknown rule", errb.String())
+	}
+}
+
+// TestListRules checks -list prints every registered analyzer and exits 0.
+func TestListRules(t *testing.T) {
+	var out, errb strings.Builder
+	if got := run([]string{"-list"}, &out, &errb); got != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", got, errb.String())
+	}
+	for _, name := range []string{"nodeterminism", "entropyflow", "snapcover", "homeshard", "allowjustify"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output lacks rule %s", name)
+		}
+	}
+}
+
+// TestJSONShape pins the machine-readable output: a top-level object with
+// diagnostics and suppressed arrays, both present (never null) even when
+// empty, so CI's suppression-budget step can count without guarding.
+func TestJSONShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks module packages from source")
+	}
+	var out, errb strings.Builder
+	if got := run([]string{"-json", "./internal/vtime"}, &out, &errb); got != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", got, errb.String())
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(out.String()), &raw); err != nil {
+		t.Fatalf("output is not a JSON object: %v\n%s", err, out.String())
+	}
+	for _, key := range []string{"diagnostics", "suppressed"} {
+		v, ok := raw[key]
+		if !ok {
+			t.Fatalf("JSON output lacks %q key", key)
+		}
+		var arr []json.RawMessage
+		if err := json.Unmarshal(v, &arr); err != nil {
+			t.Errorf("%q is not an array (null?): %v", key, err)
+		}
+	}
+}
+
+// TestGraphDump checks -graph emits call-graph edges and exits 0.
+func TestGraphDump(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks module packages from source")
+	}
+	var out, errb strings.Builder
+	if got := run([]string{"-graph", "./internal/drift"}, &out, &errb); got != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", got, errb.String())
+	}
+	if !strings.Contains(out.String(), " -> ") {
+		t.Errorf("-graph output has no edges:\n%s", out.String())
+	}
+}

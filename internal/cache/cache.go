@@ -22,7 +22,7 @@ func LineOf(addr uint64, lineSize int) uint64 {
 // contents are discarded when a scope is left. This intentionally
 // under-approximates locality, as in the paper.
 type Scoped struct {
-	lineSize int
+	lineSize int //simany:derived immutable line-size configuration from NewScoped
 	present  map[uint64]struct{}
 	depth    int
 
@@ -196,7 +196,7 @@ func (d *DirectMapped) InvalidateLine(line uint64) {
 // presence set, matching the paper's abstract "stored in the initiating
 // core's L2".
 type L2 struct {
-	lineSize int
+	lineSize int //simany:derived immutable line-size configuration from NewL2
 	present  map[uint64]struct{}
 
 	hits, misses int64

@@ -14,9 +14,12 @@ type Core struct {
 	// Speed is the computing-power factor of the core (1.0 for base cores;
 	// the paper's polymorphic architectures use 0.5 and 1.5). Computation
 	// costs are divided by Speed.
+	//
+	//simany:derived immutable configuration, reinstated by New from Config
 	Speed float64
 
-	k   *Kernel
+	k *Kernel //simany:derived backpointer, rewired by New before restore
+	//simany:derived backpointer, rewired when domains are rebuilt
 	dom *domain // execution shard owning this core
 
 	// rng is the core's private random stream (seed ^ coreID splitmix):
@@ -27,10 +30,13 @@ type Core struct {
 
 	vt   vtime.Time // current virtual time (meaningful while busy)
 	idle bool
-	eff  vtime.Time // advertised effective time (vt when busy, shadow when idle)
+	//simany:derived effective-time cache, recomputed by refreshEff after decode
+	eff vtime.Time // advertised effective time (vt when busy, shadow when idle)
 
-	neighbors []int        // topological neighbors (sorted)
-	nbEff     []vtime.Time // proxies of the neighbors' effective times
+	//simany:derived immutable topology adjacency, rebuilt by New
+	neighbors []int // topological neighbors (sorted)
+	//simany:derived neighbor effective-time proxies, refreshed from eff at the restore barrier
+	nbEff []vtime.Time
 
 	// Resident tasks. conts and ready are only mutated through the
 	// push/pop helpers below, which maintain the cached queue minima.
@@ -42,16 +48,16 @@ type Core struct {
 	// minimum resume stamp over conts, maintained incrementally (same
 	// lazy-recompute discipline as the birth cache) so the scheduler's
 	// runnable-key computation and NextEventTime never rescan the queues.
-	readyMin      vtime.Time
-	readyMinDirty bool
-	contsMin      vtime.Time
-	contsMinDirty bool
+	readyMin      vtime.Time //simany:derived lazy cache over ready, marked dirty on restore and rescanned on demand
+	readyMinDirty bool       //simany:derived set true by restore so the first read rescans
+	contsMin      vtime.Time //simany:derived lazy cache over conts, marked dirty on restore and rescanned on demand
+	contsMinDirty bool       //simany:derived set true by restore so the first read rescans
 
 	// Indexed-scheduler state (sched.go), owned by the core's domain:
 	// position in the domain's runnable heap (-1 = not enqueued) and the
 	// cached runnable key it is ordered by while enqueued.
-	schedPos int
-	schedKey vtime.Time
+	schedPos int        //simany:derived heap index, rebuilt by schedRebuild after decode
+	schedKey vtime.Time //simany:derived cached runnable key, rebuilt by schedRebuild after decode
 
 	lockDepth int // >0: lock-holder exemption from spatial stalls
 
@@ -62,8 +68,8 @@ type Core struct {
 	lastHandled vtime.Time
 
 	births     map[uint64]vtime.Time // birth stamps of spawned, not-yet-started tasks
-	birthCache vtime.Time            // min of births, Inf if none
-	birthDirty bool
+	birthCache vtime.Time            //simany:derived lazy min over births, recomputed on first read after restore
+	birthDirty bool                  //simany:derived set true by restore so the first read rescans
 
 	// taskSeq numbers the tasks this core has spawned. Task IDs are
 	// allocated per spawning core (NewTask), so they are deterministic

@@ -29,32 +29,34 @@ type domain struct {
 	blocked map[uint64]*Task
 	live    int64 // live tasks resident in this domain
 	maxTime vtime.Time
-	busy    int // non-idle cores
+	busy    int //simany:derived non-idle core count, recounted from idle flags after decode
 
 	// limit caps every horizon handed to tasks of this domain while a shard
 	// round is in progress (Inf on the sequential engine and between
 	// rounds): cross-shard effective-time proxies are frozen during a
 	// round, so local progress must not outrun the round quantum.
+	//
+	//simany:derived transient round state; checkpoints happen at barriers where limit is reset
 	limit vtime.Time
 
 	// rq is the indexed runnable queue (sched.go); nil when the domain
 	// schedules through the reference scan (non-cacheable policy horizon,
 	// or Config.Sched = SchedScan). stepping is the core currently inside
 	// step, whose index entry is transient until the step completes.
-	rq       *runq
-	stepping *Core
+	rq       *runq //simany:derived runnable heap, rebuilt by schedRebuild after decode
+	stepping *Core //simany:derived transient mid-step marker, nil at every barrier
 
 	// Host-parallelism potential sampling (§VIII).
 	runnableSum     int64
 	runnableSamples int64
 	runnableMax     int
 
-	propQueue []int // scratch for shadow-time propagation
+	propQueue []int //simany:derived reusable scratch for shadow-time propagation, empty between uses
 
 	// Sharded-engine state: cross-shard traffic deferred to the next
 	// barrier, and the step count of the current round.
-	outbox     []deferredItem
-	roundSteps int
+	outbox     []deferredItem //simany:derived drained at every barrier, so empty at each checkpoint
+	roundSteps int            //simany:derived transient per-round counter, reset when a round starts
 	stepsTotal int64
 
 	// Message-delivery statistics, owned by this domain: sendNow always
@@ -70,14 +72,15 @@ type domain struct {
 	// domain's execution context (or the single-threaded barrier). Worker
 	// and Task pointer identity never feeds a scheduling decision, so
 	// recycling cannot perturb determinism.
-	freeWorkers []*taskWorker
-	freeTasks   []*Task
+	freeWorkers []*taskWorker //simany:derived goroutine pool; parked workers are respawned by restoreParked
+	freeTasks   []*Task       //simany:derived allocation pool; recycled identities never reach scheduling
 
 	// Per-shard trace buffer: events emitted while this domain executes
 	// (or, inside a barrier, events whose core this domain owns) are
 	// appended here lock-free and merged deterministically by
 	// Kernel.flushTrace at the next barrier. traceSeq is the per-shard
 	// emission order, the merge's tie-break within (VT, Core).
+	//simany:derived flushed by Kernel.flushTrace at every barrier, so empty at each checkpoint
 	traceBuf []TraceEvent
 	traceSeq uint64
 }

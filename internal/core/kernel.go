@@ -129,53 +129,63 @@ type Config struct {
 }
 
 // DefaultT is the paper's reference maximum local drift (100 cycles).
+//
 //lint:allow snapshotsafe immutable configuration default, read only at kernel construction
 var DefaultT = vtime.CyclesInt(100)
 
 // Kernel is the discrete-event simulator.
 type Kernel struct {
-	cores    []*Core
-	topo     *topology.Topology
-	net      *network.Model
-	policy   Policy
-	mem      MemSystem
+	cores []*Core //simany:derived serialized through their owning domains, reattached on decode
+	//simany:derived immutable topology, reconstructed by New from Config
+	topo *topology.Topology
+	net  *network.Model
+	//simany:derived scheduling policy is stateless configuration, reinstated by New
+	policy Policy
+	mem    MemSystem
+	//simany:derived registered handler table (configuration), repopulated before Run
 	handlers map[network.Kind]Handler
-	rng      *rand.Rand
+	//simany:derived setup-time stream only: simulation draws come from per-core rng.Rand state
+	rng *rand.Rand
 
-	taskStartCost vtime.Time
-	ctxSwitchCost vtime.Time
+	taskStartCost vtime.Time //simany:derived immutable cost configuration from Config
+	ctxSwitchCost vtime.Time //simany:derived immutable cost configuration from Config
 
 	// Execution engine state: the machine is split into one or more
 	// domains (shards). The sequential engine uses a single domain; the
 	// sharded engine runs the domains on worker goroutines between
 	// deterministic barriers (see shard.go).
-	domains   []*domain
-	part      []int // core ID -> domain index
-	sharded   bool
-	workers   int
-	quantum   vtime.Time
+	domains []*domain
+	//simany:derived partition map, recomputed by setupEngine from (topology, shards)
+	part    []int // core ID -> domain index
+	sharded bool
+	workers int        //simany:derived engine configuration, reinstated by New
+	quantum vtime.Time //simany:derived engine configuration, reinstated by New
+	//simany:derived transient: checkpoints only happen outside barriers
 	inBarrier bool
-	pairLocal []bool // n×n: route stays inside one shard (nil if not precomputed)
+	//simany:derived locality table, recomputed by setupEngine (nil if not precomputed)
+	pairLocal []bool // n×n: route stays inside one shard
 
 	// Scheduler selection (sched.go): schedIndexed arms the per-domain
 	// runnable queues, schedVerify additionally replays the reference
 	// scan after every indexed decision. onPick, when set, observes every
 	// scheduling decision (test hook; called from the worker driving the
 	// picked core's domain).
-	schedIndexed bool
-	schedVerify  bool
+	schedIndexed bool //simany:derived scheduler-mode configuration, reinstated by New
+	schedVerify  bool //simany:derived scheduler-mode configuration, reinstated by New
 	onPick       func(c *Core, key vtime.Time)
 
 	// Barrier scratch buffers, reused across rounds: the merged deferred
 	// items drained at each barrier and the worklist of the global
 	// effective-time relaxation.
-	barrierItems []deferredItem
-	effQueue     []int
+	barrierItems []deferredItem //simany:derived barrier scratch, empty between rounds
+	effQueue     []int          //simany:derived relaxation scratch, empty between rounds
 
-	steps    atomic.Int64
+	steps atomic.Int64
+	//simany:derived step budget from Config, reinstated by New
 	maxSteps int64
 
-	panicMu   sync.Mutex
+	panicMu sync.Mutex
+	//simany:derived a panicked kernel refuses Checkpoint; always nil when one is taken
 	taskPanic error
 
 	// Checkpoint machinery (snapshot.go). barriers counts completed
@@ -200,11 +210,12 @@ type Kernel struct {
 
 	// bcheck, when non-nil, arms continuous barrier validation (see
 	// barriercheck.go). diam caches Topology.Diameter (-2 = not computed).
-	bcheck *barrierCheck
-	diam   int
+	bcheck *barrierCheck //simany:derived validation harness, re-armed by EnableBarrierValidation
+	diam   int           //simany:derived cached Topology.Diameter, lazily recomputed (-2 = unset)
 
 	// demotion records why a requested sharded configuration fell back to
 	// the sequential engine ("" = no demotion); see DemotionNotice.
+	//simany:derived recomputed by setupEngine from the same Config
 	demotion string
 
 	// onTaskStart, when set, runs right after a fresh task is popped from
@@ -215,6 +226,8 @@ type Kernel struct {
 	traceSeq uint64
 	// traceMerge is the scratch slice flushTrace reuses to merge the
 	// per-shard trace buffers at each barrier.
+	//
+	//simany:derived merge scratch, contents dead between flushTrace calls
 	traceMerge []TraceEvent
 
 	// met, when non-nil, holds the kernel's standard instruments in the

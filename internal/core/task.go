@@ -34,12 +34,14 @@ type Task struct {
 	// Meta is reserved for the task runtime layered above the kernel.
 	Meta any
 
-	fn      func(*Env)
-	core    *Core
+	fn   func(*Env)
+	core *Core
+	//simany:derived implied by which queue holds the task; decodeTask re-derives it from queue membership
 	state   TaskState
 	arrival vtime.Time // stamp at which the task may start
 	resume  vtime.Time // wake stamp set by Unblock
-	endVT   vtime.Time
+	//simany:derived only meaningful for TaskDone tasks, which never appear in a checkpoint
+	endVT vtime.Time
 
 	started     bool
 	pendingWake bool // Unblock arrived before the task reached Block
@@ -49,8 +51,8 @@ type Task struct {
 	// the task body — assigned when the task first starts (domain.startTask)
 	// and shared with the worker for its whole pooled lifetime.
 	cont   chan struct{}
-	worker *taskWorker
-	env    Env
+	worker *taskWorker //simany:derived parked goroutine identity, respawned by restoreParked
+	env    Env         //simany:derived rebuilt by decodeTask/startTask from the owning kernel and core
 }
 
 // ReleaseOnDone marks the task's struct for recycling into the kernel's

@@ -1,0 +1,489 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file builds the module-wide static call graph the interprocedural
+// analyzers (entropyflow, snapcover, homeshard) run on. It is deliberately
+// conservative and purely syntactic over go/types facts — no SSA, no
+// x/tools — matching the zero-dependency loader:
+//
+//   - Direct calls to declared functions and methods resolve exactly.
+//   - Calls through a module-defined interface resolve to every module
+//     type implementing the interface (candidate edges, marked Iface).
+//     Interfaces defined outside the module are not expanded.
+//   - A function literal gets its own node. It is classified at its
+//     creation site: immediately invoked, or assigned to a local variable
+//     whose every use is a direct call, it counts as part of its creator
+//     (a Calls edge from the enclosing function). Passed as a direct call
+//     argument it records the receiving callee (PassedTo). Anything else
+//     — returned, stored in a field/slice/global, captured by another
+//     escape — marks it Escapes: it can run in an unknown context.
+//   - Referencing a function or method as a *value* (method value, method
+//     expression, bare function name outside call position) records a
+//     Refs edge: the target may be invoked anywhere, so analyses treat
+//     such references as potential calls.
+//   - Calls through plain function-typed variables and parameters do not
+//     resolve; the Refs edge at the point the value was created is the
+//     conservative stand-in.
+type CallGraph struct {
+	// Nodes lists every declared function/method and every function
+	// literal of the loaded packages, in deterministic (package, file,
+	// position) order.
+	Nodes []*Node
+	// ByFn maps a declared function object to its node.
+	ByFn map[*types.Func]*Node
+
+	fset *token.FileSet
+
+	// entropyOnce/taint cache the entropyflow fixpoint (see entropyflow.go).
+	entropyOnce sync.Once
+	taint       map[*Node]*taintStep
+	// snapOnce/snapDiags cache the snapcover result (see snapcover.go).
+	snapOnce  sync.Once
+	snapDiags []pkgDiag
+	// homeOnce/homeDiags cache the homeshard reachability result.
+	homeOnce  sync.Once
+	homeDiags []pkgDiag
+}
+
+// pkgDiag is a precomputed finding from a module-global analysis, emitted
+// by the package that owns it so per-package runs stay deterministic.
+type pkgDiag struct {
+	pkg  string
+	pos  token.Pos
+	rule string
+	msg  string
+}
+
+// Node is one function in the call graph: a declared function or method
+// (Fn != nil) or a function literal (Lit != nil).
+type Node struct {
+	Fn   *types.Func  // declared function/method object; nil for literals
+	Lit  *ast.FuncLit // the literal; nil for declared functions
+	Encl *Node        // lexically enclosing function, literals only
+	Pkg  *Package     // package the body lives in
+	Body *ast.BlockStmt
+	Sig  *types.Signature
+
+	// Calls are statically resolved invocations made by this body
+	// (excluding nested literals, which have their own nodes). A
+	// non-escaping literal appears as a Calls edge from its creator.
+	Calls []Edge
+	// Refs are function values referenced without being called.
+	Refs []Edge
+
+	// PassedTo is the resolved callee this literal is a direct argument
+	// of, if any (closures handed to Kernel.Defer / Runtime.runAt).
+	PassedTo *types.Func
+	// Escapes marks a literal whose invocation context is unknown.
+	Escapes bool
+}
+
+// Pos returns the declaration position of the node.
+func (n *Node) Pos() token.Pos {
+	if n.Fn != nil {
+		return n.Fn.Pos()
+	}
+	return n.Lit.Pos()
+}
+
+// Edge is one outgoing call or reference.
+type Edge struct {
+	// Callee is the target object; nil for edges to function literals.
+	Callee *types.Func
+	// To is the module node for Callee (or the literal), nil when the
+	// target is outside the loaded packages (standard library).
+	To *Node
+	// Pos is the call or reference site.
+	Pos token.Pos
+	// Iface marks a conservative interface-dispatch candidate.
+	Iface bool
+}
+
+// CallGraph lazily builds (once) and returns the module call graph.
+func (prog *Program) CallGraph() *CallGraph {
+	prog.cgOnce.Do(func() { prog.cg = buildCallGraph(prog) })
+	return prog.cg
+}
+
+type cgBuilder struct {
+	prog *Program
+	g    *CallGraph
+	// declNode/litNode locate the node a body position belongs to.
+	declNode map[*ast.FuncDecl]*Node
+	litNode  map[*ast.FuncLit]*Node
+	// moduleTypes are all named types declared in loaded packages, in
+	// deterministic order, for interface-candidate expansion.
+	moduleTypes []*types.TypeName
+	ifaceCand   map[*types.Func][]*types.Func
+}
+
+func buildCallGraph(prog *Program) *CallGraph {
+	b := &cgBuilder{
+		prog:      prog,
+		g:         &CallGraph{ByFn: make(map[*types.Func]*Node), fset: prog.Fset},
+		declNode:  make(map[*ast.FuncDecl]*Node),
+		litNode:   make(map[*ast.FuncLit]*Node),
+		ifaceCand: make(map[*types.Func][]*types.Func),
+	}
+	for _, p := range prog.Pkgs {
+		scope := p.Pkg.Scope()
+		for _, name := range scope.Names() { // Names() is sorted
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
+				b.moduleTypes = append(b.moduleTypes, tn)
+			}
+		}
+	}
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			b.walkFile(p, f)
+		}
+	}
+	// Resolve edge targets now that every node exists.
+	for _, n := range b.g.Nodes {
+		for i := range n.Calls {
+			if e := &n.Calls[i]; e.To == nil && e.Callee != nil {
+				e.To = b.g.ByFn[e.Callee]
+			}
+		}
+		for i := range n.Refs {
+			if e := &n.Refs[i]; e.To == nil && e.Callee != nil {
+				e.To = b.g.ByFn[e.Callee]
+			}
+		}
+	}
+	return b.g
+}
+
+func (b *cgBuilder) walkFile(p *Package, f *ast.File) {
+	inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			fn, _ := p.Info.Defs[n.Name].(*types.Func)
+			if fn == nil {
+				return true
+			}
+			node := &Node{Fn: fn, Pkg: p, Body: n.Body,
+				Sig: fn.Type().(*types.Signature)}
+			b.declNode[n] = node
+			b.g.ByFn[fn] = node
+			b.g.Nodes = append(b.g.Nodes, node)
+		case *ast.FuncLit:
+			b.addLit(p, n, stack)
+		case *ast.CallExpr:
+			b.addCall(p, n, stack)
+		case *ast.Ident:
+			// A bare function name outside call position is a value
+			// reference. Selector targets are handled at the selector.
+			if len(stack) >= 2 {
+				if sel, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && sel.Sel == n {
+					return true
+				}
+			}
+			if fn, ok := p.Info.Uses[n].(*types.Func); ok && !inCallPosition(stack, n) {
+				b.addRef(p, stack, fn, n.Pos())
+			}
+		case *ast.SelectorExpr:
+			if fn, ok := p.Info.Uses[n.Sel].(*types.Func); ok && !inCallPosition(stack, n) {
+				b.addRef(p, stack, fn, n.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// enclosingNode finds the node of the innermost function enclosing the
+// element at the top of stack (excluding that element itself).
+func (b *cgBuilder) enclosingNode(stack []ast.Node) *Node {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch e := stack[i].(type) {
+		case *ast.FuncDecl:
+			return b.declNode[e]
+		case *ast.FuncLit:
+			return b.litNode[e]
+		}
+	}
+	return nil
+}
+
+// inCallPosition reports whether expr is the function operand of its
+// enclosing call expression.
+func inCallPosition(stack []ast.Node, expr ast.Expr) bool {
+	self := ast.Expr(expr)
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch e := stack[i].(type) {
+		case *ast.ParenExpr:
+			self = e
+			continue
+		case *ast.CallExpr:
+			return ast.Unparen(e.Fun) == ast.Unparen(self)
+		}
+		return false
+	}
+	return false
+}
+
+func (b *cgBuilder) addCall(p *Package, call *ast.CallExpr, stack []ast.Node) {
+	encl := b.enclosingNode(stack)
+	if encl == nil {
+		return // package-level initializer expression
+	}
+	fn := calleeFunc(p.Info, call)
+	if fn == nil {
+		return // builtin, conversion, or call through a function value
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+		// Interface dispatch: expand to module implementations when the
+		// interface itself is module-defined.
+		for _, cand := range b.ifaceCandidates(fn) {
+			encl.Calls = append(encl.Calls, Edge{Callee: cand, Pos: call.Pos(), Iface: true})
+		}
+		return
+	}
+	encl.Calls = append(encl.Calls, Edge{Callee: fn, Pos: call.Pos()})
+}
+
+func (b *cgBuilder) addRef(p *Package, stack []ast.Node, fn *types.Func, pos token.Pos) {
+	encl := b.enclosingNode(stack)
+	if encl == nil {
+		return
+	}
+	encl.Refs = append(encl.Refs, Edge{Callee: fn, Pos: pos})
+}
+
+// ifaceCandidates returns the concrete module methods an interface method
+// call may dispatch to. Only interfaces defined inside the module are
+// expanded; the result is cached and deterministic.
+func (b *cgBuilder) ifaceCandidates(fn *types.Func) []*types.Func {
+	if cands, ok := b.ifaceCand[fn]; ok {
+		return cands
+	}
+	var cands []*types.Func
+	defer func() { b.ifaceCand[fn] = cands }()
+	if fn.Pkg() == nil {
+		return cands
+	}
+	path := fn.Pkg().Path()
+	if path != b.prog.Module && !strings.HasPrefix(path, b.prog.Module+"/") {
+		return cands
+	}
+	iface, ok := fn.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return cands
+	}
+	for _, tn := range b.moduleTypes {
+		t := tn.Type()
+		if types.IsInterface(t) {
+			continue
+		}
+		pt := types.NewPointer(t)
+		if !types.Implements(t, iface) && !types.Implements(pt, iface) {
+			continue
+		}
+		sel := types.NewMethodSet(pt).Lookup(fn.Pkg(), fn.Name())
+		if sel == nil {
+			continue
+		}
+		if m, ok := sel.Obj().(*types.Func); ok {
+			cands = append(cands, m)
+		}
+	}
+	return cands
+}
+
+// addLit creates the node for a function literal and classifies its
+// creation site.
+func (b *cgBuilder) addLit(p *Package, lit *ast.FuncLit, stack []ast.Node) {
+	encl := b.enclosingNode(stack)
+	sig, _ := p.Info.Types[lit].Type.(*types.Signature)
+	node := &Node{Lit: lit, Encl: encl, Pkg: p, Body: lit.Body, Sig: sig}
+	b.litNode[lit] = node
+	b.g.Nodes = append(b.g.Nodes, node)
+	if encl == nil {
+		node.Escapes = true // package-level initializer: unknown context
+		return
+	}
+
+	parent := parentNode(stack)
+	switch pn := parent.(type) {
+	case *ast.CallExpr:
+		if ast.Unparen(pn.Fun) == lit {
+			// Immediately invoked: part of the creator's body.
+			encl.Calls = append(encl.Calls, Edge{To: node, Pos: lit.Pos()})
+			return
+		}
+		if argOf(pn, lit) {
+			node.PassedTo = calleeFunc(p.Info, pn)
+			node.Escapes = true
+			encl.Refs = append(encl.Refs, Edge{To: node, Pos: lit.Pos()})
+			return
+		}
+	case *ast.AssignStmt:
+		for i, rhs := range pn.Rhs {
+			if ast.Unparen(rhs) != lit || i >= len(pn.Lhs) {
+				continue
+			}
+			if obj := assignedObj(p.Info, pn.Lhs[i]); obj != nil &&
+				localCallOnly(p.Info, encl.Body, obj) {
+				encl.Calls = append(encl.Calls, Edge{To: node, Pos: lit.Pos()})
+				return
+			}
+		}
+	case *ast.ValueSpec:
+		for i, v := range pn.Values {
+			if ast.Unparen(v) != lit || i >= len(pn.Names) {
+				continue
+			}
+			obj := p.Info.Defs[pn.Names[i]]
+			if obj != nil && localCallOnly(p.Info, encl.Body, obj) {
+				encl.Calls = append(encl.Calls, Edge{To: node, Pos: lit.Pos()})
+				return
+			}
+		}
+	}
+	node.Escapes = true
+	encl.Refs = append(encl.Refs, Edge{To: node, Pos: lit.Pos()})
+}
+
+// argOf reports whether lit appears directly in call's argument list.
+func argOf(call *ast.CallExpr, lit *ast.FuncLit) bool {
+	for _, a := range call.Args {
+		if ast.Unparen(a) == lit {
+			return true
+		}
+	}
+	return false
+}
+
+// parentNode returns the syntactic parent of the top-of-stack node,
+// looking through parentheses.
+func parentNode(stack []ast.Node) ast.Node {
+	for i := len(stack) - 2; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+// assignedObj resolves the variable an assignment LHS binds, for both :=
+// definitions and plain assignments.
+func assignedObj(info *types.Info, lhs ast.Expr) types.Object {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// localCallOnly reports whether every use of obj inside body is a direct
+// call — the pattern that keeps a closure non-escaping.
+func localCallOnly(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	if body == nil {
+		return false
+	}
+	ok := true
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || info.Uses[id] != obj {
+			return true
+		}
+		if !inCallPosition(stack, id) {
+			ok = false
+		}
+		return true
+	})
+	return ok
+}
+
+// ---------------------------------------------------------------------------
+// Naming and debug output
+
+// Name renders a node for call-chain diagnostics: "core.Kernel.Defer",
+// "rt.spawnLocal", or "core.step.func@123" for a literal.
+func (g *CallGraph) Name(n *Node) string {
+	if n.Fn != nil {
+		return funcDisplayName(n.Fn)
+	}
+	line := g.fset.Position(n.Lit.Pos()).Line
+	for e := n.Encl; e != nil; e = e.Encl {
+		if e.Fn != nil {
+			return fmt.Sprintf("%s.func@%d", funcDisplayName(e.Fn), line)
+		}
+	}
+	return fmt.Sprintf("%s.func@%d", n.Pkg.Pkg.Name(), line)
+}
+
+// funcDisplayName renders pkg.Func or pkg.Type.Method.
+func funcDisplayName(fn *types.Func) string {
+	pkg := "_"
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name()
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := types.Unalias(t).(*types.Named); ok {
+			return pkg + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + "." + fn.Name()
+}
+
+// Dump writes the graph as sorted "caller -> target [kind]" lines, one
+// per edge, for the driver's -graph flag.
+func (g *CallGraph) Dump(w io.Writer) {
+	var lines []string
+	for _, n := range g.Nodes {
+		name := g.Name(n)
+		for _, e := range n.Calls {
+			lines = append(lines, fmt.Sprintf("%s -> %s [%s]", name, g.edgeName(e), edgeKind(e, "call")))
+		}
+		for _, e := range n.Refs {
+			lines = append(lines, fmt.Sprintf("%s -> %s [%s]", name, g.edgeName(e), edgeKind(e, "ref")))
+		}
+		if n.Lit != nil && n.Escapes {
+			lines = append(lines, fmt.Sprintf("%s [escapes]", name))
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}
+
+func (g *CallGraph) edgeName(e Edge) string {
+	if e.To != nil {
+		return g.Name(e.To)
+	}
+	return funcDisplayName(e.Callee)
+}
+
+func edgeKind(e Edge, base string) string {
+	if e.Iface {
+		return "iface"
+	}
+	return base
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Entropyflow is the interprocedural companion to nodeterminism. The
+// syntactic rule catches a direct time.Now inside a simulator package,
+// but entropy launders trivially through one helper call:
+//
+//	func (c *Core) step() { jitter := harness.Jitter(); ... }
+//
+// harness is outside the restricted set, so nodeterminism stays quiet —
+// yet the simulation result now depends on the host clock. Entropyflow
+// closes the hole with a taint fixpoint over the module call graph: every
+// function that transitively reaches a host-entropy source (time.Now,
+// the global math/rand stream, os.Getenv, ...) through module-internal
+// calls is tainted, and any call or function-value reference from
+// internal/{core,rt,mem,network,drift,vtime,topology,metrics} into a
+// tainted function is a finding. The diagnostic prints the witness chain
+// (core.step → harness.Jitter → time.Now) so the laundering path is
+// visible at the call site.
+//
+// Direct source uses inside the restricted packages stay nodeterminism's
+// findings; entropyflow only reports the interprocedural hop, so the two
+// rules never double-report one site.
+var Entropyflow = &Analyzer{
+	Name: "entropyflow",
+	Doc:  "flag calls from simulator packages into functions that transitively reach host entropy",
+	Run:  runEntropyflow,
+}
+
+// taintStep records why a node is tainted: either a direct source use
+// (src != "") or a call/ref into a tainted node (next != nil).
+type taintStep struct {
+	src  string // "time.Now", "rand.Int", ... for direct uses
+	next *Node  // the tainted callee this node reaches
+	pos  token.Pos
+}
+
+// entropyTaint computes (once) the tainted-node map over the call graph.
+func (g *CallGraph) entropyTaint(prog *Program) map[*Node]*taintStep {
+	g.entropyOnce.Do(func() {
+		g.taint = make(map[*Node]*taintStep)
+		// Seed: nodes whose own body uses an entropy source.
+		for _, n := range g.Nodes {
+			if src, pos := directEntropyUse(n); src != "" {
+				g.taint[n] = &taintStep{src: src, pos: pos}
+			}
+		}
+		// Propagate caller-ward to a fixpoint. Node order is
+		// deterministic, so the recorded witness chains are too.
+		for changed := true; changed; {
+			changed = false
+			for _, n := range g.Nodes {
+				if g.taint[n] != nil {
+					continue
+				}
+				for _, edges := range [][]Edge{n.Calls, n.Refs} {
+					for _, e := range edges {
+						if e.To != nil && g.taint[e.To] != nil {
+							g.taint[n] = &taintStep{next: e.To, pos: e.Pos}
+							changed = true
+							break
+						}
+					}
+					if g.taint[n] != nil {
+						break
+					}
+				}
+			}
+		}
+	})
+	return g.taint
+}
+
+// directEntropyUse scans a node's own body (nested literals excluded —
+// they have their own nodes) for a host-entropy source and returns its
+// display name, or "".
+func directEntropyUse(n *Node) (string, token.Pos) {
+	if n.Body == nil {
+		return "", token.NoPos
+	}
+	src, pos := "", token.NoPos
+	walkOwnBody(n, func(e ast.Node) {
+		if src != "" {
+			return
+		}
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		if s := entropySourceName(n.Pkg, sel); s != "" {
+			src, pos = s, sel.Pos()
+		}
+	})
+	return src, pos
+}
+
+// entropySourceName classifies a selector as a host-entropy source using
+// nodeterminism's tables, returning "pkg.Name" or "".
+func entropySourceName(p *Package, sel *ast.SelectorExpr) string {
+	pn := pkgNameOf(p.Info, sel.X)
+	if pn == nil {
+		return ""
+	}
+	if isTypeRef(p, sel) {
+		return ""
+	}
+	name := sel.Sel.Name
+	switch pn.Imported().Path() {
+	case "time":
+		if nodetTime[name] {
+			return "time." + name
+		}
+	case "math/rand", "math/rand/v2":
+		if !nodetRandAllowed[name] {
+			return "rand." + name
+		}
+	case "os":
+		if nodetOS[name] {
+			return "os." + name
+		}
+	}
+	return ""
+}
+
+// walkOwnBody visits every node of n's body except nested function
+// literals' bodies.
+func walkOwnBody(n *Node, visit func(ast.Node)) {
+	if n.Body == nil {
+		return
+	}
+	ast.Inspect(n.Body, func(e ast.Node) bool {
+		if lit, ok := e.(*ast.FuncLit); ok && lit != n.Lit {
+			return false
+		}
+		visit(e)
+		return true
+	})
+}
+
+func runEntropyflow(prog *Program, p *Package, r *Reporter) {
+	if !p.isInternal(prog, deterministicPkgs...) {
+		return
+	}
+	g := prog.CallGraph()
+	taint := g.entropyTaint(prog)
+	for _, n := range g.Nodes {
+		if n.Pkg != p {
+			continue
+		}
+		for _, e := range n.Calls {
+			if e.To != nil && taint[e.To] != nil {
+				r.Report(e.Pos, "entropyflow",
+					"call reaches a host-entropy source: %s; results must depend only on (seed, config)",
+					g.taintChain(n, e.To, taint))
+			}
+		}
+		for _, e := range n.Refs {
+			if e.To != nil && taint[e.To] != nil {
+				r.Report(e.Pos, "entropyflow",
+					"function value reaches a host-entropy source: %s; results must depend only on (seed, config)",
+					g.taintChain(n, e.To, taint))
+			}
+		}
+	}
+}
+
+// taintChain renders the witness path "caller → callee → ... → source".
+func (g *CallGraph) taintChain(from, to *Node, taint map[*Node]*taintStep) string {
+	parts := []string{g.Name(from)}
+	for n := to; n != nil; {
+		parts = append(parts, g.Name(n))
+		step := taint[n]
+		if step == nil {
+			break
+		}
+		if step.src != "" {
+			parts = append(parts, step.src)
+			break
+		}
+		n = step.next
+	}
+	return strings.Join(parts, " → ")
+}

@@ -9,23 +9,35 @@ import (
 // HomeShard enforces PR 1's home-shard arbitration discipline. Functions
 // carrying a //simany:homeshard annotation mutate state owned by a shared
 // object's home shard (rt group counters, lock waiter queues, cell
-// directories) and therefore may only run in home-shard context. The
-// analyzer verifies every call site is one of:
+// directories) and therefore may only run in home-shard context: inside
+// another //simany:homeshard function, a //simany:barrier function
+// (barriers are single-threaded), or a closure passed directly to a
+// //simany:arbiter function (Kernel.Defer / Runtime.runAt — the
+// sanctioned routes into home context).
 //
-//   - another //simany:homeshard function (the context propagates),
-//   - a //simany:barrier function (barriers are single-threaded),
-//   - a closure passed directly to a //simany:arbiter function
-//     (Kernel.Defer / Runtime.runAt — the sanctioned routes into home
-//     context),
-//   - same-package test code (test files are not analyzed).
+// Unlike the original direct-call-site check, the analyzer now works over
+// the module call graph: arbitration context propagates through
+// unannotated helper functions, so a helper called only from home context
+// may call home-shard functions freely, while a helper reachable from a
+// foreign-context entry point is flagged with the full offending chain.
+// Foreign-context entry points are:
 //
-// Any other caller would mutate home-owned state from a foreign shard's
-// worker, racing the owner — the failure mode conservative determinism
-// must prevent rather than tolerate (contrast the rollback machinery of
-// optimistic PDES engines).
+//   - exported unannotated functions (callable from anywhere),
+//   - unannotated functions referenced as values (method values,
+//     function-typed fields — invocation context unknown),
+//   - unannotated functions with no module-internal caller (main, API
+//     surface exercised by tests),
+//   - escaping closures (stored, returned, or passed to a non-arbiter
+//     callee) — these are flagged rather than invisibly trusted.
+//
+// Interface-dispatched calls do not propagate foreign context (candidate
+// sets are conservative); a home-shard mutation behind an interface must
+// annotate the concrete method, which this rule then guards directly.
+// Referencing a //simany:homeshard function as a value is always a
+// finding: the value can be invoked from any context.
 var HomeShard = &Analyzer{
 	Name: "homeshard",
-	Doc:  "restrict //simany:homeshard functions to home-shard/barrier callers",
+	Doc:  "restrict //simany:homeshard functions to call chains rooted in home-shard/barrier/arbiter context",
 	Run:  runHomeShard,
 }
 
@@ -68,7 +80,9 @@ func annotationOf(doc *ast.CommentGroup) string {
 	for _, c := range doc.List {
 		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
 		if rest, ok := strings.CutPrefix(text, "simany:"); ok {
-			return strings.TrimSpace(rest)
+			if fields := strings.Fields(rest); len(fields) > 0 {
+				return fields[0]
+			}
 		}
 	}
 	return ""
@@ -79,62 +93,141 @@ func runHomeShard(prog *Program, p *Package, r *Reporter) {
 	if len(annots) == 0 {
 		return
 	}
-	for _, f := range p.Files {
-		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			fn := calleeFunc(p.Info, call)
-			if fn == nil || annots[fn] != annotHomeShard {
-				return true
-			}
-			if homeContextOK(p, annots, stack) {
-				return true
-			}
-			r.Report(call.Pos(), "homeshard",
-				"call to home-shard function %s from non-home context: only //simany:homeshard or //simany:barrier functions, or closures passed to a //simany:arbiter (Kernel.Defer, Runtime.runAt), may call it",
-				fn.Name())
-			return true
-		})
+	g := prog.CallGraph()
+	g.homeOnce.Do(func() { g.homeDiags = homeShardFindings(prog, g, annots) })
+	for _, d := range g.homeDiags {
+		if d.pkg == p.Path {
+			r.Report(d.pos, d.rule, "%s", d.msg)
+		}
 	}
 }
 
-// homeContextOK walks the enclosing-node stack (innermost last) looking for
-// a context that legitimizes a home-shard call.
-func homeContextOK(p *Package, annots map[types.Object]string, stack []ast.Node) bool {
-	// Skip the call expression itself.
-	for i := len(stack) - 2; i >= 0; i-- {
-		switch enc := stack[i].(type) {
-		case *ast.FuncLit:
-			// A closure handed straight to an arbiter runs in home context
-			// (the arbiter defers it to the home shard or a barrier).
-			if i > 0 {
-				if parent, ok := stack[i-1].(*ast.CallExpr); ok {
-					fn := calleeFunc(p.Info, parent)
-					if fn != nil && annots[fn] == annotArbiter && argOf(parent, enc) {
-						return true
+// foreignOrigin describes why a node can run outside home context and,
+// for propagated badness, the caller chain that carries it.
+type foreignOrigin struct {
+	why    string // for entry points: "exported", "escaping closure", ...
+	parent *Node  // for propagated nodes: the foreign caller
+}
+
+func homeShardFindings(prog *Program, g *CallGraph, annots map[types.Object]string) []pkgDiag {
+	kind := func(n *Node) string {
+		if n == nil || n.Fn == nil {
+			return ""
+		}
+		return annots[n.Fn]
+	}
+	trustedClosure := func(n *Node) bool {
+		return n.Lit != nil && n.PassedTo != nil && annots[n.PassedTo] == annotArbiter
+	}
+
+	// Functions referenced as values and functions with at least one
+	// module-internal static caller.
+	referenced := make(map[*Node]bool)
+	hasCaller := make(map[*Node]bool)
+	for _, n := range g.Nodes {
+		for _, e := range n.Refs {
+			if e.To != nil {
+				referenced[e.To] = true
+			}
+		}
+		for _, e := range n.Calls {
+			if e.To != nil && !e.Iface {
+				hasCaller[e.To] = true
+			}
+		}
+	}
+
+	// Seed the foreign-context set with the entry points.
+	foreign := make(map[*Node]*foreignOrigin)
+	for _, n := range g.Nodes {
+		if kind(n) != "" || trustedClosure(n) {
+			continue // annotated functions and arbiter closures are home context
+		}
+		switch {
+		case n.Lit != nil && n.Escapes:
+			foreign[n] = &foreignOrigin{why: "escaping closure"}
+		case n.Fn != nil && n.Fn.Exported():
+			foreign[n] = &foreignOrigin{why: "exported"}
+		case n.Fn != nil && referenced[n]:
+			foreign[n] = &foreignOrigin{why: "referenced as a value"}
+		case n.Fn != nil && !hasCaller[n]:
+			foreign[n] = &foreignOrigin{why: "no module-internal caller"}
+		}
+	}
+
+	// Propagate foreign context through unannotated static callees
+	// (non-escaping closures are Calls targets of their creators, so
+	// badness flows into them naturally). Annotated functions are trust
+	// boundaries: propagation stops there, and reaching a homeshard one
+	// is the finding.
+	var diags []pkgDiag
+	reported := make(map[[2]any]bool) // (caller node, edge pos) dedup
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if foreign[n] == nil {
+				continue
+			}
+			for _, e := range n.Calls {
+				if e.To == nil || e.Iface {
+					continue
+				}
+				switch {
+				case kind(e.To) == annotHomeShard:
+					key := [2]any{n, e.Pos}
+					if !reported[key] {
+						reported[key] = true
+						diags = append(diags, pkgDiag{
+							pkg: n.Pkg.Path, pos: e.Pos, rule: "homeshard",
+							msg: "call to home-shard function " + e.To.Fn.Name() +
+								" from foreign context (" + foreignChain(g, foreign, n) +
+								"): only //simany:homeshard or //simany:barrier functions, or closures passed to a //simany:arbiter (Kernel.Defer, Runtime.runAt), may call it",
+						})
 					}
+				case kind(e.To) != "" || trustedClosure(e.To):
+					// barrier/arbiter or trusted closure: boundary.
+				case foreign[e.To] == nil:
+					foreign[e.To] = &foreignOrigin{parent: n}
+					changed = true
 				}
 			}
-			// Otherwise the closure is transparent: keep climbing — a
-			// helper closure defined inside an annotated function is part
-			// of its body.
-		case *ast.FuncDecl:
-			obj := p.Info.Defs[enc.Name]
-			kind := annots[obj]
-			return kind == annotHomeShard || kind == annotBarrier
 		}
 	}
-	return false
+
+	// A home-shard function used as a value escapes every context check.
+	for _, n := range g.Nodes {
+		for _, e := range n.Refs {
+			if e.To != nil && kind(e.To) == annotHomeShard {
+				diags = append(diags, pkgDiag{
+					pkg: n.Pkg.Path, pos: e.Pos, rule: "homeshard",
+					msg: "home-shard function " + e.To.Fn.Name() +
+						" referenced as a value; it could be invoked outside home-shard context — call it through an annotated function or a //simany:arbiter closure instead",
+				})
+			}
+		}
+	}
+	return diags
 }
 
-// argOf reports whether lit appears directly in call's argument list.
-func argOf(call *ast.CallExpr, lit *ast.FuncLit) bool {
-	for _, a := range call.Args {
-		if ast.Unparen(a) == lit {
-			return true
+// foreignChain renders how foreign context reaches n: "entry (exported) →
+// helper → n".
+func foreignChain(g *CallGraph, foreign map[*Node]*foreignOrigin, n *Node) string {
+	var rev []*Node
+	cur := n
+	for cur != nil {
+		rev = append(rev, cur)
+		o := foreign[cur]
+		if o == nil || o.parent == nil {
+			break
 		}
+		cur = o.parent
 	}
-	return false
+	parts := make([]string, 0, len(rev)+1)
+	for i := len(rev) - 1; i >= 0; i-- {
+		parts = append(parts, g.Name(rev[i]))
+	}
+	if o := foreign[rev[len(rev)-1]]; o != nil && o.why != "" {
+		parts[0] += " [" + o.why + "]"
+	}
+	return strings.Join(parts, " → ")
 }

@@ -22,8 +22,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Analyzer is one lint rule. Run inspects a single package and reports
@@ -42,12 +44,51 @@ type Analyzer struct {
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NoDeterminism,
+		Entropyflow,
 		MapOrder,
 		HomeShard,
 		RawVtime,
 		LockDiscipline,
 		SnapshotSafe,
+		SnapCover,
+		AllowJustify,
 	}
+}
+
+// AllowJustify mechanizes the "justification is mandatory" convention: a
+// //lint:allow directive naming rules but carrying no justification text
+// used to rely on review to get rejected; now it is a finding itself.
+var AllowJustify = &Analyzer{
+	Name: "allowjustify",
+	Doc:  "require a one-line justification on every //lint:allow directive",
+	Run:  runAllowJustify,
+}
+
+func runAllowJustify(prog *Program, p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := allowDirective(c.Text)
+				if !ok {
+					continue
+				}
+				if len(strings.Fields(rest)) < 2 {
+					r.Report(c.Pos(), "allowjustify",
+						"//lint:allow needs a one-line justification after the rule list (why is this finding safe to suppress?)")
+				}
+			}
+		}
+	}
+}
+
+// allowDirective extracts the text after "//lint:allow", reporting whether
+// the comment is such a directive.
+func allowDirective(comment string) (rest string, ok bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	if !strings.HasPrefix(text, "lint:allow") {
+		return "", false
+	}
+	return strings.TrimSpace(strings.TrimPrefix(text, "lint:allow")), true
 }
 
 // Diagnostic is one finding, addressable by file and line.
@@ -64,69 +105,83 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Msg)
 }
 
+// Suppression is one finding silenced by a //lint:allow directive,
+// recorded so allow-creep is machine-trackable (-json emits the list).
+type Suppression struct {
+	Rule          string `json:"rule"`
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Justification string `json:"justification"`
+}
+
 // Reporter collects diagnostics and applies //lint:allow suppressions.
 type Reporter struct {
 	fset *token.FileSet
-	// allow maps file -> line -> set of suppressed rule names. A
+	// allow maps file -> line -> suppressed rule name -> justification. A
 	// suppression comment covers its own line and the line below it, so it
 	// works both trailing a statement and standing above one.
-	allow      map[string]map[int]map[string]bool
-	diags      []Diagnostic
-	suppressed int
+	allow        map[string]map[int]map[string]string
+	diags        []Diagnostic
+	suppressed   int
+	suppressions []Suppression
 }
 
 // NewReporter builds a reporter for packages positioned on fset.
 func NewReporter(fset *token.FileSet) *Reporter {
-	return &Reporter{fset: fset, allow: make(map[string]map[int]map[string]bool)}
+	return &Reporter{fset: fset, allow: make(map[string]map[int]map[string]string)}
 }
 
 // CollectAllows scans a file's comments for //lint:allow directives.
 func (r *Reporter) CollectAllows(f *ast.File) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			text := strings.TrimPrefix(c.Text, "//")
-			text = strings.TrimSpace(text)
-			if !strings.HasPrefix(text, "lint:allow") {
+			rest, ok := allowDirective(c.Text)
+			if !ok {
 				continue
 			}
-			rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
 			fields := strings.Fields(rest)
 			if len(fields) == 0 {
 				continue
 			}
+			just := strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
 			pos := r.fset.Position(c.Pos())
 			for _, rule := range strings.Split(fields[0], ",") {
 				rule = strings.TrimSpace(rule)
 				if rule == "" {
 					continue
 				}
-				r.addAllow(pos.Filename, pos.Line, rule)
-				r.addAllow(pos.Filename, pos.Line+1, rule)
+				r.addAllow(pos.Filename, pos.Line, rule, just)
+				r.addAllow(pos.Filename, pos.Line+1, rule, just)
 			}
 		}
 	}
 }
 
-func (r *Reporter) addAllow(file string, line int, rule string) {
+func (r *Reporter) addAllow(file string, line int, rule, just string) {
 	byLine := r.allow[file]
 	if byLine == nil {
-		byLine = make(map[int]map[string]bool)
+		byLine = make(map[int]map[string]string)
 		r.allow[file] = byLine
 	}
 	rules := byLine[line]
 	if rules == nil {
-		rules = make(map[string]bool)
+		rules = make(map[string]string)
 		byLine[line] = rules
 	}
-	rules[rule] = true
+	rules[rule] = just
 }
 
 // Report files a diagnostic at pos unless a suppression covers it.
 func (r *Reporter) Report(pos token.Pos, rule, format string, args ...any) {
 	p := r.fset.Position(pos)
-	if byLine := r.allow[p.Filename]; byLine != nil && byLine[p.Line][rule] {
-		r.suppressed++
-		return
+	if byLine := r.allow[p.Filename]; byLine != nil {
+		if just, ok := byLine[p.Line][rule]; ok {
+			r.suppressed++
+			r.suppressions = append(r.suppressions, Suppression{
+				Rule: rule, File: p.Filename, Line: p.Line, Justification: just,
+			})
+			return
+		}
 	}
 	r.diags = append(r.diags, Diagnostic{
 		File: p.Filename, Line: p.Line, Col: p.Column,
@@ -155,8 +210,28 @@ func (r *Reporter) Diagnostics() []Diagnostic {
 // Suppressed returns the number of findings silenced by //lint:allow.
 func (r *Reporter) Suppressed() int { return r.suppressed }
 
-// Run executes the given analyzers over every package of prog and returns
-// the reporter holding the results.
+// Suppressions returns the silenced findings sorted by position, then rule.
+func (r *Reporter) Suppressions() []Suppression {
+	sort.Slice(r.suppressions, func(i, j int) bool {
+		a, b := r.suppressions[i], r.suppressions[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return r.suppressions
+}
+
+// Run executes the given analyzers over every package of prog, fanning
+// the packages out across NumCPU workers, and returns the reporter
+// holding the merged results. Output is deterministic: the shared lazy
+// state (annotations, call graph, the module-global analyses behind it)
+// is computed before the fan-out or guarded by sync.Once, each package
+// collects into its own sub-reporter, and Diagnostics()/Suppressions()
+// sort by position, so worker interleaving never reaches the output.
 func Run(prog *Program, analyzers []*Analyzer) *Reporter {
 	r := NewReporter(prog.Fset)
 	for _, p := range prog.Pkgs {
@@ -164,10 +239,42 @@ func Run(prog *Program, analyzers []*Analyzer) *Reporter {
 			r.CollectAllows(f)
 		}
 	}
-	for _, p := range prog.Pkgs {
-		for _, a := range analyzers {
-			a.Run(prog, p, r)
+	prog.Annotations()
+	prog.CallGraph()
+
+	subs := make([]*Reporter, len(prog.Pkgs))
+	workers := min(runtime.NumCPU(), len(prog.Pkgs))
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				sub := &Reporter{fset: prog.Fset, allow: r.allow}
+				for _, a := range analyzers {
+					a.Run(prog, prog.Pkgs[i], sub)
+				}
+				subs[i] = sub
+			}
+		}()
+	}
+	for i := range prog.Pkgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for _, sub := range subs {
+		if sub == nil {
+			continue
 		}
+		r.diags = append(r.diags, sub.diags...)
+		r.suppressed += sub.suppressed
+		r.suppressions = append(r.suppressions, sub.suppressions...)
 	}
 	return r
 }
@@ -206,6 +313,13 @@ func internalPkgPath(prog *Program, path string, names ...string) bool {
 		}
 	}
 	return false
+}
+
+// isTypeRef reports whether a selector names a type (rand.Rand) rather
+// than a function or variable.
+func isTypeRef(p *Package, sel *ast.SelectorExpr) bool {
+	_, ok := p.Info.Uses[sel.Sel].(*types.TypeName)
+	return ok
 }
 
 // pkgNameOf resolves a selector base identifier to an imported package, or

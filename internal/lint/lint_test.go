@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -66,11 +67,14 @@ func TestAnalyzerCorpora(t *testing.T) {
 		suppressed int
 	}{
 		{"nodeterminism", "simany/internal/core", NoDeterminism, 1},
+		{"entropyflow", "simany/internal/core", Entropyflow, 1},
 		{"maporder", "simany/internal/network", MapOrder, 0},
 		{"homeshard", "simany/internal/hs", HomeShard, 0},
 		{"rawvtime", "simany/internal/rvbad", RawVtime, 1},
 		{"lockdiscipline", "simany/internal/rt", LockDiscipline, 1},
 		{"snapshotsafe", "simany/internal/core", SnapshotSafe, 1},
+		{"snapcover", "simany/internal/sc", SnapCover, 1},
+		{"allowjustify", "simany/internal/aj", AllowJustify, 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
@@ -134,6 +138,176 @@ func TestRealTreeClean(t *testing.T) {
 	}
 }
 
+// loadRealTree type-checks the repository's real packages.
+func loadRealTree(t *testing.T) *Program {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := l.Load("./internal/...", "./cmd/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestRunDeterministic proves the parallel driver's output is independent
+// of worker interleaving: two independent loads of the real tree, each run
+// through the full rule set, must produce byte-identical diagnostics and
+// suppression lists.
+func TestRunDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source twice")
+	}
+	var diags [2][]Diagnostic
+	var supps [2][]Suppression
+	for i := range diags {
+		rep := Run(loadRealTree(t), Analyzers())
+		diags[i] = rep.Diagnostics()
+		supps[i] = rep.Suppressions()
+	}
+	if !reflect.DeepEqual(diags[0], diags[1]) {
+		t.Errorf("diagnostics differ across runs:\n%v\nvs\n%v", diags[0], diags[1])
+	}
+	if !reflect.DeepEqual(supps[0], supps[1]) {
+		t.Errorf("suppressions differ across runs:\n%v\nvs\n%v", supps[0], supps[1])
+	}
+}
+
+// copyCoreTo copies internal/core's non-test sources into dir, applying
+// edit to each file's content, and returns the module root.
+func copyCoreTo(t *testing.T, dir string, edit func(name, src string) string) string {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(root, "internal", "core")
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := edit(name, string(data))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// loadSeededCore type-checks a doctored copy of internal/core under its
+// real import path (so packages importing core resolve to the copy) plus
+// any extra real packages, and returns the resulting Program.
+func loadSeededCore(t *testing.T, coreDir, root string, extra ...string) *Program {
+	t.Helper()
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The copy must load first: LoadDir caches it under the core import
+	// path, so the extra packages' imports of core hit the doctored copy.
+	pkgs := []*Package{}
+	p, err := l.LoadDir(coreDir, "simany/internal/core")
+	if err != nil {
+		t.Fatalf("loading doctored core: %v", err)
+	}
+	pkgs = append(pkgs, p)
+	for _, name := range extra {
+		p, err := l.LoadDir(filepath.Join(root, "internal", name), "simany/internal/"+name)
+		if err != nil {
+			t.Fatalf("loading %s against doctored core: %v", name, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return &Program{Module: l.module, Root: root, Fset: l.fset, Pkgs: pkgs}
+}
+
+// TestSeededSnapcoverBug is the end-to-end guarantee the rule exists for:
+// deleting one field's encode line from the real checkpoint code makes
+// snapcover name exactly that field.
+func TestSeededSnapcoverBug(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks doctored module packages from source")
+	}
+	const encodeLine = "enc.Varint(st.Stalls)"
+	dir := t.TempDir()
+	seeded := false
+	root := copyCoreTo(t, dir, func(name, src string) string {
+		if name != "snapshot.go" {
+			return src
+		}
+		if !strings.Contains(src, encodeLine) {
+			t.Fatalf("snapshot.go lost the %q encode line the test deletes", encodeLine)
+		}
+		seeded = true
+		return strings.Replace(src, encodeLine, "", 1)
+	})
+	if !seeded {
+		t.Fatal("snapshot.go was not copied")
+	}
+	// rt rides along because its task codec covers core fields (Task.Meta);
+	// core alone would report those too and drown the seeded signal.
+	prog := loadSeededCore(t, dir, root, "rt")
+	rep := Run(prog, []*Analyzer{SnapCover})
+	diags := rep.Diagnostics()
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want exactly 1 (the deleted field):\n%v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Msg, "CoreStats.Stalls") {
+		t.Errorf("finding does not name the deleted field: %s", diags[0])
+	}
+}
+
+// TestSeededEntropyBug injects a two-hop host-clock chain into a copy of
+// internal/core and checks entropyflow reports the interprocedural hop
+// with the full witness chain.
+func TestSeededEntropyBug(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a doctored module package from source")
+	}
+	dir := t.TempDir()
+	root := copyCoreTo(t, dir, func(name, src string) string { return src })
+	injected := `package core
+
+import "time"
+
+func seededHop() int64 { return seededSource() }
+
+func seededSource() int64 { return time.Now().UnixNano() }
+`
+	if err := os.WriteFile(filepath.Join(dir, "seeded_entropy.go"), []byte(injected), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog := loadSeededCore(t, dir, root)
+	rep := Run(prog, []*Analyzer{Entropyflow})
+	diags := rep.Diagnostics()
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want exactly 1 (the injected hop):\n%v", len(diags), diags)
+	}
+	d := diags[0]
+	if !strings.Contains(d.Msg, "seededHop") ||
+		!strings.Contains(d.Msg, "seededSource → time.Now") {
+		t.Errorf("finding lacks the witness chain seededHop → seededSource → time.Now: %s", d)
+	}
+	if filepath.Base(d.File) != "seeded_entropy.go" {
+		t.Errorf("finding at %s, want seeded_entropy.go", d.File)
+	}
+}
+
 // TestSuppressionScope pins the //lint:allow contract: the directive
 // covers its own line and the next, nothing further.
 func TestSuppressionScope(t *testing.T) {
@@ -165,7 +339,7 @@ func TestSuppressionScope(t *testing.T) {
 		dirLine + 1: true,
 		dirLine + 2: false,
 	} {
-		got := rep.allow[file][line]["nodeterminism"]
+		_, got := rep.allow[file][line]["nodeterminism"]
 		if got != covered {
 			t.Errorf("line %d (directive at %d): covered = %v, want %v",
 				line, dirLine, got, covered)
@@ -175,7 +349,7 @@ func TestSuppressionScope(t *testing.T) {
 	// A different rule on a covered line is still reported.
 	pos := prog.Pkgs[0].Files[0].Pos()
 	_ = pos
-	if rep.allow[file][dirLine]["maporder"] {
+	if _, leaked := rep.allow[file][dirLine]["maporder"]; leaked {
 		t.Error("suppression leaked to a rule the directive does not name")
 	}
 }

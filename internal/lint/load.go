@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -38,6 +39,9 @@ type Program struct {
 	Pkgs []*Package
 
 	annots map[types.Object]string // lazily built //simany: annotations
+
+	cgOnce sync.Once  // guards cg for the parallel driver
+	cg     *CallGraph // lazily built module call graph
 }
 
 // Loader loads module packages from source, resolving module-internal

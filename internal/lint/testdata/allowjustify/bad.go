@@ -1,0 +1,13 @@
+// Corpus for the allowjustify analyzer: every //lint:allow directive must
+// carry a one-line justification after its rule list. The marker for the
+// bad case rides in a block comment on the same line, because appending
+// text to the directive itself would turn into a justification.
+package aj
+
+var a = 1 //lint:allow maporder corpus fixture demonstrating a justified allow
+
+/* want:allowjustify */ //lint:allow maporder
+var b = 2
+
+/* want:allowjustify */ //lint:allow maporder,rawvtime
+var c = 3

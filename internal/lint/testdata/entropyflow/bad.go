@@ -1,0 +1,51 @@
+// Corpus for the entropyflow analyzer. Loaded under the fake import path
+// simany/internal/core so the restricted-package gate applies. Direct
+// entropy uses are nodeterminism's findings and stay unmarked here;
+// entropyflow fires on the interprocedural hops — calls and function-value
+// references into functions that transitively reach a host-entropy source.
+package core
+
+import (
+	"os"
+	"time"
+)
+
+// jitter reads the host clock directly. The direct use belongs to
+// nodeterminism, so this line carries no entropyflow marker.
+func jitter() time.Duration { return time.Since(time.Time{}) }
+
+// step launders entropy through one hop.
+func step() {
+	_ = jitter() // want:entropyflow
+}
+
+// outer launders through two hops; the witness chain names both.
+func outer() {
+	step() // want:entropyflow
+}
+
+type clock struct{}
+
+func (clock) read() time.Time { return time.Now() }
+
+// sample leaks entropy through a method value: the reference alone makes
+// the result clock-dependent wherever it is later invoked.
+func sample() func() time.Time {
+	c := clock{}
+	return c.read // want:entropyflow
+}
+
+// env reads the host environment directly (again nodeterminism's finding).
+func env() string { return os.Getenv("SIMANY_DEBUG") }
+
+// configured is an intentional, suppressed exception.
+func configured() bool {
+	//lint:allow entropyflow setup-time toggle, read once before the run starts
+	return env() != ""
+}
+
+// pure and usesPure prove the clean path: no entropy anywhere in the
+// chain, no findings.
+func pure(a, b int) int { return a + b }
+
+func usesPure() int { return pure(1, 2) }

@@ -60,3 +60,34 @@ func notAnArbiterArg(run func(fn func())) {
 		applyEnd() // want:homeshard
 	})
 }
+
+// helper launders foreign context: its only caller is a foreign entry
+// point, so the home-shard call inside it is flagged with the full chain
+// (entry [no module-internal caller] → helper → applyEnd).
+func helper() {
+	applyEnd() // want:homeshard
+}
+
+func entry() {
+	helper()
+}
+
+// homeHelper is the legal counterpart: its only caller is annotated, so
+// home-shard context propagates through it and the call stays clean.
+func homeHelper() {
+	applyEnd()
+}
+
+//simany:homeshard
+func applyBatch() {
+	homeHelper()
+}
+
+// use invokes an arbitrary function value.
+func use(fn func()) { fn() }
+
+// leakValue hands a home-shard function around as a value: always a
+// finding, because the value can be invoked from any context.
+func leakValue() {
+	use(applyEnd) // want:homeshard
+}

@@ -1,0 +1,80 @@
+// Corpus for the snapcover analyzer. Loaded under the fake import path
+// simany/internal/sc. Root gets its checkpoint-root status structurally
+// (a method taking *snap.Encoder); Loose is rooted as a struct parameter
+// of an encode function; Sub is reached by traversing Root's covered
+// fields. Every non-exempt field must be referenced by encode-side code,
+// carry //simany:derived with a justification, or be marked want.
+package sc
+
+import (
+	"sync"
+
+	"simany/internal/snap"
+)
+
+// Root models a Snapshottable checkpoint root.
+type Root struct {
+	live    int64
+	dropped int64 // want:snapcover
+	tail    int64 // covered only through the tailWords helper
+	seq     int64 // covered only through the literal inside encode
+	sub     Sub
+	//simany:derived recomputed from live by reindex after decode
+	cache int64
+	//simany:derived
+	bare int64 // want:snapcover
+
+	mu   sync.Mutex   // exempt: host-side guard
+	hook func() error // exempt: never serializable
+	wake chan int     // exempt: never serializable
+}
+
+// Sub is reachable through Root.sub; its coverage is checked too.
+type Sub struct {
+	n      int64
+	missed int64 // want:snapcover
+}
+
+// Loose is reachable only as a struct parameter of an encode function.
+type Loose struct {
+	id   uint64
+	gone uint64 //lint:allow snapcover retired field kept for wire-layout compatibility
+}
+
+// Scratch is not reachable from any checkpoint root: never checked.
+type Scratch struct {
+	junk int
+}
+
+func (r *Root) encode(e *snap.Encoder) {
+	e.Varint(r.live)
+	for _, w := range r.tailWords() {
+		e.Varint(w)
+	}
+	emit := func() { e.Varint(r.seq) }
+	emit()
+	encodeSub(e, &r.sub)
+}
+
+// tailWords is a statFields-style helper: a direct callee of encode whose
+// field references count as coverage without an Encoder parameter.
+func (r *Root) tailWords() []int64 { return []int64{r.tail} }
+
+func encodeSub(e *snap.Encoder, s *Sub) {
+	e.Varint(s.n)
+}
+
+func encodeLoose(e *snap.Encoder, l Loose) {
+	e.Uvarint(l.id)
+}
+
+// decode references dropped, but decode-side references do not count: an
+// un-encoded field can never round-trip.
+func (r *Root) decode(d *snap.Decoder) error {
+	v, err := d.Varint()
+	if err != nil {
+		return err
+	}
+	r.dropped = v
+	return nil
+}

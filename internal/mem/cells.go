@@ -28,7 +28,8 @@ type Cell struct {
 	home  int // creating core; immutable, the cell's arbitration point
 	size  int // payload bytes (drives message sizes)
 	addr  uint64
-	data  any // the actual Go payload
+	//simany:derived live Go payload; Restore refuses containers with live cells (decode asymmetry)
+	data any
 
 	locked     bool
 	lockHolder uint64 // task ID holding the lock
@@ -114,6 +115,7 @@ type CellStore struct {
 	mu    sync.RWMutex
 	cells map[uint64]*Cell
 	next  uint64
+	//simany:derived backpointer to the address allocator, which snapshots itself
 	alloc *Allocator
 
 	// arenas, when enabled, gives each creating core a private id range so

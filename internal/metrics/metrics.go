@@ -42,8 +42,8 @@ type slot struct {
 
 // Counter is a monotonically growing sum, striped per shard.
 type Counter struct {
-	name string
-	unit Unit
+	name string //simany:derived registry key, re-supplied by name on decode
+	unit Unit   //simany:derived immutable instrument configuration
 	vals []slot
 }
 
@@ -135,9 +135,9 @@ type histStripe struct {
 // inclusive upper bucket edges in ascending order; values above the last
 // bound land in an implicit overflow bucket.
 type Histogram struct {
-	name   string
-	unit   Unit
-	bounds []int64
+	name   string  //simany:derived registry key, re-supplied by name on decode
+	unit   Unit    //simany:derived immutable instrument configuration
+	bounds []int64 //simany:derived immutable bucket edges fixed at construction
 	vals   []histStripe
 }
 
@@ -189,7 +189,7 @@ func DefaultCountBounds() []int64 {
 // Registry holds named instruments. Creation is setup-time only; updates
 // follow the per-shard stripe discipline described in the package comment.
 type Registry struct {
-	shards   int
+	shards   int //simany:derived stripe-count configuration fixed at construction
 	counters map[string]*Counter
 	hists    map[string]*Histogram
 }

@@ -66,16 +66,18 @@ func DefaultParams() Params {
 
 // Model is the interconnect simulator.
 type Model struct {
-	topo   *topology.Topology
-	params Params
+	topo   *topology.Topology //simany:derived immutable topology handed to New
+	params Params             //simany:derived immutable model parameters from New
 
 	// next[src][dst] holds the index (into the topology's neighbor list
 	// of src) of the next hop toward dst, -1 at the destination itself.
+	//
+	//simany:derived routing table, recomputed by New from the topology
 	next [][]int16
 	// Per-node parallel arrays indexed like topology.Neighbors(node):
 	// outgoing link latency, bandwidth, and the contention next-free time.
-	nbLat  [][]vtime.Time
-	nbBW   [][]int
+	nbLat  [][]vtime.Time //simany:derived per-link latency configuration, rebuilt by New
+	nbBW   [][]int        //simany:derived per-link bandwidth configuration, rebuilt by New
 	nbFree [][]vtime.Time
 
 	// lastArrival[src] is the FIFO clamp page for source src: a flat
@@ -99,6 +101,7 @@ type Model struct {
 	// and no counter is ever contended. The totals are commutative sums —
 	// identical at every worker count — and are read (Stats) only from
 	// single-threaded context.
+	//simany:derived stripe map, recomputed from the kernel partition on attach
 	stripeOf  []int // node -> stripe; nil = everything on stripe 0
 	messages  *metrics.Striped
 	totalHops *metrics.Striped
@@ -106,6 +109,8 @@ type Model struct {
 
 	// obs, when non-nil, receives fine-grain timing observations from
 	// Send. Install it before the simulation runs.
+	//
+	//simany:derived observability attachment installed before Run, never checkpoint state
 	obs Observer
 }
 

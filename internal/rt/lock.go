@@ -30,6 +30,7 @@ type Lock struct {
 
 // LockHandoffCost is the coherence-transfer delay charged when a lock moves
 // between tasks (one shared-bank round trip).
+//
 //lint:allow snapshotsafe immutable configuration default, never written after init
 var LockHandoffCost = vtime.CyclesInt(10)
 

@@ -102,7 +102,8 @@ type Stats struct {
 
 // Runtime is one simulation's task runtime instance.
 type Runtime struct {
-	k     *core.Kernel
+	k *core.Kernel //simany:derived backpointer to the kernel the runtime is attached to
+	//simany:derived immutable Options configuration, reinstated by New
 	opt   Options
 	alloc *mem.Allocator
 	cells *mem.CellStore
@@ -110,8 +111,9 @@ type Runtime struct {
 	// occ[c][j] = believed queue length of the j-th neighbor of core c
 	// (flat and neighbor-indexed — degrees are tiny, so nbIndex's linear
 	// scan beats a map lookup and the probe hot path stays allocation-free).
-	occ          [][]int
-	nbs          [][]int // cached topology neighbor lists, indexed like occ
+	occ [][]int
+	//simany:derived cached topology adjacency, rebuilt by New from the kernel topology
+	nbs          [][]int // neighbor lists, indexed like occ
 	reservations []int   // outstanding accepted probes per core
 	rr           []int   // round-robin candidate cursor per core
 
@@ -119,10 +121,12 @@ type Runtime struct {
 	// program table (configuration), the checkpoint group registry with
 	// its deterministic id source, and the decode-time group re-binding
 	// work list.
+	//simany:derived registered program table (configuration), repopulated by RegisterProgram
 	programs map[string]*Program
 	sgroups  map[uint64]*Group
 	nextGid  uint64
-	binds    []groupBind
+	//simany:derived decode-time work list, drained by DecodeSafe before execution resumes
+	binds []groupBind
 
 	stats Stats
 }
@@ -148,9 +152,10 @@ type probeMsg struct {
 }
 
 type probeReply struct {
-	ok        bool
-	queueLen  int
-	from      int
+	ok       bool
+	queueLen int
+	from     int
+	//simany:derived re-linked to the decoded task by DecodeSafe's bind pass
 	requester *core.Task
 }
 

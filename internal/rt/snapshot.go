@@ -29,7 +29,9 @@ const (
 )
 
 // taskCodec implements core.TaskCodec for the runtime.
-type taskCodec struct{ r *Runtime }
+type taskCodec struct {
+	r *Runtime //simany:derived codec handle; the runtime snapshots itself separately
+}
 
 // EncodeTask implements core.TaskCodec.
 func (tc taskCodec) EncodeTask(enc *snap.Encoder, t *core.Task) bool {

@@ -78,11 +78,11 @@ func (r *Runtime) program(name string) *Program {
 type stepOp uint8
 
 const (
-	opNext stepOp = iota // continue at the continuation PC
-	opHalt               // frame done (pop, or task end for the root frame)
-	opCall               // run a program inline in a pushed frame
-	opSpawn              // conditional spawn (probe/spawn, inline on denial)
-	opJoin               // join the task's group
+	opNext  stepOp = iota // continue at the continuation PC
+	opHalt                // frame done (pop, or task end for the root frame)
+	opCall                // run a program inline in a pushed frame
+	opSpawn               // conditional spawn (probe/spawn, inline on denial)
+	opJoin                // join the task's group
 )
 
 // Action is a Step's returned effect: optional charges (applied in read,
@@ -202,6 +202,8 @@ type stepState struct {
 
 	// reentry is transient decode-time state, never serialized: how the
 	// restored body re-enters its park point on first execution.
+	//
+	//simany:derived decode-time re-entry marker, consumed on the body's first step
 	reentry parkKind
 }
 

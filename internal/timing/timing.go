@@ -216,6 +216,7 @@ func (p *TwoBitPredictor) Mispredicts(n int64) int64 {
 // BlockTimer combines a cost model and a predictor into the complete
 // annotation evaluator used by a simulated core.
 type BlockTimer struct {
+	//simany:derived immutable cost tables, reinstated with the configuration
 	Model     *CostModel
 	Predictor Predictor
 }
