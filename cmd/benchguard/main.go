@@ -39,6 +39,7 @@ type baselineFile struct {
 
 // guards bundles the baseline limits and their tolerances.
 type guards struct {
+	title    string             // summary heading (defaults to the parent benchmark name)
 	ceilings map[string]float64 // allocs/op ceilings (fail above ceiling*(1+allocTol))
 	floors   map[string]float64 // steps/sec floors (fail below floor*(1-stepTol))
 	allocTol float64
@@ -100,7 +101,11 @@ func parseBench(r io.Reader, parent string) ([]measurement, error) {
 func check(ms []measurement, g guards) (string, []string) {
 	var b strings.Builder
 	var failures []string
-	b.WriteString("### Hot-path benchmark\n\n")
+	title := g.title
+	if title == "" {
+		title = "Hot-path benchmark"
+	}
+	fmt.Fprintf(&b, "### %s\n\n", title)
 	b.WriteString("| bench | steps/sec | floor (-tolerance) | allocs/op | ceiling (+tolerance) | status |\n")
 	b.WriteString("|---|---|---|---|---|---|\n")
 	seen := make(map[string]bool)
@@ -130,13 +135,17 @@ func check(ms []measurement, g guards) (string, []string) {
 					m.name, m.stepsPerSec, g.stepTol*100, floor))
 			}
 		}
-		status := "—"
-		if guarded {
-			if ok {
-				status = "✅"
-			} else {
-				status = "❌ regression"
-			}
+		status := "✅"
+		if !guarded {
+			// Baseline-key drift: a sub-benchmark running in CI with no
+			// ceiling or floor was previously reported as "—" and silently
+			// passed, so adding a benchmark without adding its guard (or
+			// renaming one side) left it unguarded forever. Fail loudly.
+			status = "❌ unguarded"
+			failures = append(failures, fmt.Sprintf(
+				"%s: sub-benchmark has no alloc ceiling or throughput floor in the baseline", m.name))
+		} else if !ok {
+			status = "❌ regression"
 		}
 		fmt.Fprintf(&b, "| %s | %.0f | %s | %.0f | %s | %s |\n",
 			m.name, m.stepsPerSec, stepLimit, m.allocsPerOp, allocLimit, status)
@@ -177,6 +186,7 @@ func run(in io.Reader, baselinePath, parent string, allocTol, stepTol float64) (
 		return "", fmt.Errorf("benchguard: no %s/* results on stdin", parent)
 	}
 	md, failures := check(ms, guards{
+		title:    parent,
 		ceilings: base.AllocGuard.MaxAllocsPerOp,
 		floors:   base.ThroughputGuard.MinStepsPerSec,
 		allocTol: allocTol,

@@ -114,7 +114,7 @@ func TestThroughputFloor(t *testing.T) {
 
 	// seq measured 344304 steps/sec; a floor of 500000 with 30% tolerance
 	// (minimum 350000) is a >30% regression and must fail.
-	_, failures = check(ms, guards{floors: map[string]float64{"seq": 500000}, stepTol: 0.30})
+	_, failures = check(ms[:1], guards{floors: map[string]float64{"seq": 500000}, stepTol: 0.30})
 	if len(failures) != 1 || !strings.Contains(failures[0], "steps/sec") {
 		t.Errorf("throughput regression not flagged: %v", failures)
 	}
@@ -127,5 +127,25 @@ func TestThroughputFloor(t *testing.T) {
 	})
 	if len(failures) != 1 || !strings.Contains(failures[0], "sharded") {
 		t.Errorf("missing sub-benchmark not flagged exactly once: %v", failures)
+	}
+}
+
+// TestUnguardedSubBenchmarkFails covers the other direction of baseline-key
+// drift: a sub-benchmark present in the output but absent from every guard
+// map must fail loudly, not silently pass with an em-dash status.
+func TestUnguardedSubBenchmarkFails(t *testing.T) {
+	ms, err := parseBench(strings.NewReader(sampleOutput), "BenchmarkHotPath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, failures := check(ms, guards{
+		ceilings: map[string]float64{"seq": 18750},
+		allocTol: 0.20,
+	})
+	if len(failures) != 1 || !strings.Contains(failures[0], "sharded") {
+		t.Fatalf("unguarded sub-benchmark not flagged: %v", failures)
+	}
+	if !strings.Contains(md, "unguarded") {
+		t.Errorf("summary table does not mark the unguarded row:\n%s", md)
 	}
 }

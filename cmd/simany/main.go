@@ -42,6 +42,7 @@ func run(args []string) error {
 	var (
 		benchName = fs.String("bench", "quicksort", "benchmark: "+strings.Join(bench.Names(), ", "))
 		cores     = fs.Int("cores", 64, "number of cores")
+		topoSpec  = fs.String("topo", "", "topology spec overriding -cores/-style: chiplet:8x8,4x4[,...], mesh:WxH, torus:WxH, ring:N, star:N, full:N (docs/topology.md)")
 		memKind   = fs.String("mem", "shared", "memory organization: shared, coherent, distributed")
 		style     = fs.String("style", "uniform", "machine style: uniform, polymorphic, clustered4, clustered8")
 		policy    = fs.String("policy", "spatial", "sync policy: spatial, cyclelevel, quantum:<cy>, slack:<cy>, laxp2p:<cy>, unbounded")
@@ -93,7 +94,7 @@ func run(args []string) error {
 			checkpointFile: *ckptF, checkpointAfter: *ckptAfter, resumeFile: *resumeF,
 		})
 	}
-	m = config.Machine{Cores: *cores, T: vtime.Cycles(*tCycles), Policy: *policy, Seed: *seed,
+	m = config.Machine{Cores: *cores, TopoSpec: *topoSpec, T: vtime.Cycles(*tCycles), Policy: *policy, Seed: *seed,
 		Shards: *shards, Workers: *workers, Sched: *sched}
 	switch *style {
 	case "uniform":
@@ -157,6 +158,9 @@ func execute(b bench.Benchmark, m config.Machine, mode bench.Mode, seed int64, s
 	k, r, err := m.Build()
 	if err != nil {
 		return err
+	}
+	if n := k.ClampNotice(); n != "" {
+		fmt.Fprintln(os.Stderr, n)
 	}
 	if n := k.DemotionNotice(); n != "" {
 		fmt.Fprintln(os.Stderr, n)
@@ -223,8 +227,13 @@ func execute(b bench.Benchmark, m config.Machine, mode bench.Mode, seed int64, s
 	ok := finish() == want
 
 	fmt.Printf("benchmark        %s (%s)\n", b.Name(), mode)
-	fmt.Printf("machine          %d cores, %s mesh, %s memory, policy %s\n",
-		k.NumCores(), m.Style, m.Mem, k.Policy().Name())
+	if h := k.Topology().Hierarchy(); h != nil {
+		fmt.Printf("machine          %d cores, %s, %s memory, policy %s\n",
+			k.NumCores(), h, m.Mem, k.Policy().Name())
+	} else {
+		fmt.Printf("machine          %d cores, %s mesh, %s memory, policy %s\n",
+			k.NumCores(), m.Style, m.Mem, k.Policy().Name())
+	}
 	fmt.Printf("virtual time     %.0f cycles\n", res.FinalVT.InCycles())
 	fmt.Printf("correct output   %v\n", ok)
 	fmt.Printf("simulation wall  %v (native %v, normalized %.1fx)\n",

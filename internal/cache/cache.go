@@ -29,12 +29,15 @@ type Scoped struct {
 	hits, misses int64
 }
 
-// NewScoped creates a pessimistic scoped L1 with the given line size.
+// NewScoped creates a pessimistic scoped L1 with the given line size. The
+// presence map is allocated lazily on first access so a 100k-core machine
+// whose cores mostly never touch memory does not pay 100k map headers up
+// front.
 func NewScoped(lineSize int) *Scoped {
 	if lineSize <= 0 {
 		lineSize = DefaultLineSize
 	}
-	return &Scoped{lineSize: lineSize, present: make(map[uint64]struct{})}
+	return &Scoped{lineSize: lineSize}
 }
 
 // Enter marks entry into a function scope.
@@ -56,6 +59,9 @@ func (s *Scoped) Access(addr uint64) bool {
 		s.hits++
 		return true
 	}
+	if s.present == nil {
+		s.present = make(map[uint64]struct{})
+	}
 	s.present[line] = struct{}{}
 	s.misses++
 	return false
@@ -73,6 +79,9 @@ func (s *Scoped) Range(base uint64, n int64, elem int) (hits, misses int64) {
 	}
 	first := LineOf(base, s.lineSize)
 	last := LineOf(base+uint64(n)*uint64(elem)-1, s.lineSize)
+	if s.present == nil {
+		s.present = make(map[uint64]struct{})
+	}
 	var newLines int64
 	for line := first; line <= last; line++ {
 		if _, ok := s.present[line]; !ok {
@@ -202,12 +211,13 @@ type L2 struct {
 	hits, misses int64
 }
 
-// NewL2 creates an L2 model.
+// NewL2 creates an L2 model. Like NewScoped, the presence set is allocated
+// lazily on first use.
 func NewL2(lineSize int) *L2 {
 	if lineSize <= 0 {
 		lineSize = DefaultLineSize
 	}
-	return &L2{lineSize: lineSize, present: make(map[uint64]struct{})}
+	return &L2{lineSize: lineSize}
 }
 
 // Access records one access and reports hit.
@@ -216,6 +226,9 @@ func (l *L2) Access(addr uint64) bool {
 	if _, ok := l.present[line]; ok {
 		l.hits++
 		return true
+	}
+	if l.present == nil {
+		l.present = make(map[uint64]struct{})
 	}
 	l.present[line] = struct{}{}
 	l.misses++
@@ -230,6 +243,9 @@ func (l *L2) Install(base uint64, bytes int64) {
 	}
 	first := LineOf(base, l.lineSize)
 	last := LineOf(base+uint64(bytes)-1, l.lineSize)
+	if l.present == nil {
+		l.present = make(map[uint64]struct{})
+	}
 	for line := first; line <= last; line++ {
 		l.present[line] = struct{}{}
 	}

@@ -42,6 +42,9 @@ func (s *Scoped) Restore(dec *snap.Decoder) error {
 		return err
 	}
 	clear(s.present)
+	if n > 0 && s.present == nil {
+		s.present = make(map[uint64]struct{}, n)
+	}
 	for i := uint64(0); i < n; i++ {
 		l, err := dec.Uvarint()
 		if err != nil {
@@ -81,6 +84,9 @@ func (l *L2) Restore(dec *snap.Decoder) error {
 		return err
 	}
 	clear(l.present)
+	if n > 0 && l.present == nil {
+		l.present = make(map[uint64]struct{}, n)
+	}
 	for i := uint64(0); i < n; i++ {
 		ln, err := dec.Uvarint()
 		if err != nil {

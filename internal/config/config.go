@@ -87,6 +87,11 @@ type Machine struct {
 	// Topo, when non-nil, overrides Style/Cores with an arbitrary network
 	// (e.g. parsed from an adjacency-matrix file, §III).
 	Topo *topology.Topology
+	// TopoSpec, when non-empty, builds the network from a textual spec
+	// (topology.ParseSpec): "chiplet:8x8,4x4,10x10", "mesh:16x8",
+	// "ring:64", ... It overrides Style/Cores like Topo; an explicit Topo
+	// takes precedence.
+	TopoSpec string
 	// Mem is the memory organization.
 	Mem MemKind
 	// T is the maximum local drift for spatial synchronization (100
@@ -154,6 +159,15 @@ func (m Machine) Speeds() []float64 {
 func (m Machine) Topology() *topology.Topology {
 	if m.Topo != nil {
 		return m.Topo
+	}
+	if m.TopoSpec != "" {
+		t, err := topology.ParseSpec(m.TopoSpec)
+		if err != nil {
+			// Build validates the spec and returns the error; reaching
+			// this panic means Topology was called around it.
+			panic(err)
+		}
+		return t
 	}
 	switch m.Style {
 	case Clustered4:
@@ -236,6 +250,13 @@ func (m Machine) parsePolicy() (core.Policy, bool, error) {
 
 // Build constructs the kernel and its task runtime.
 func (m Machine) Build() (*core.Kernel, *rt.Runtime, error) {
+	if m.Topo == nil && m.TopoSpec != "" {
+		t, err := topology.ParseSpec(m.TopoSpec)
+		if err != nil {
+			return nil, nil, err
+		}
+		m.Topo = t
+	}
 	if m.Topo != nil {
 		m.Cores = m.Topo.N()
 	}

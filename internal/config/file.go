@@ -26,6 +26,7 @@ import (
 //	seed 7
 //	speedaware on
 //	topology custom.topo     # optional, overrides cores/style
+//	topo chiplet:8x8,4x4     # optional textual spec, overrides cores/style
 //
 // Unknown keys are rejected so typos fail loudly.
 
@@ -117,6 +118,18 @@ func ParseMachine(r io.Reader, resolve func(path string) (io.ReadCloser, error))
 				return m, fmt.Errorf("config: line %d: %w", lineNo, err)
 			}
 			m.Topo = topo
+		case "topo":
+			// Validate the spec at parse time so a typo fails on this
+			// line, not later inside Build. Chiplet specs are grammar-
+			// checked without building the (possibly 100k-core) network.
+			if tiers, ok := strings.CutPrefix(val, "chiplet:"); ok {
+				if _, err := topology.ParseChipletSpec(tiers); err != nil {
+					return m, fmt.Errorf("config: line %d: %w", lineNo, err)
+				}
+			} else if _, err := topology.ParseSpec(val); err != nil {
+				return m, fmt.Errorf("config: line %d: %w", lineNo, err)
+			}
+			m.TopoSpec = val
 		default:
 			return m, fmt.Errorf("config: line %d: unknown key %q", lineNo, key)
 		}

@@ -26,7 +26,9 @@ type Core struct {
 	// draws by simulated code stay deterministic regardless of how shards
 	// are scheduled on host threads. It is a serializable rng.Rand so its
 	// exact stream position survives a checkpoint/restore round trip.
-	rng *rng.Rand
+	// Embedded by value — one machine word — so 100k cores do not pay
+	// 100k separate heap objects for their streams.
+	rng rng.Rand
 
 	vt   vtime.Time // current virtual time (meaningful while busy)
 	idle bool
@@ -121,7 +123,7 @@ func (c *Core) Stats() CoreStats { return c.stats }
 // code (runtime policies, benchmark task bodies) must draw from here
 // rather than Kernel.Rand so results do not depend on the interleaving of
 // shard workers.
-func (c *Core) Rand() *rng.Rand { return c.rng }
+func (c *Core) Rand() *rng.Rand { return &c.rng }
 
 // Neighbors returns the core's topological neighbors.
 func (c *Core) Neighbors() []int { return c.neighbors }

@@ -217,6 +217,12 @@ type Kernel struct {
 	// the sequential engine ("" = no demotion); see DemotionNotice.
 	//simany:derived recomputed by setupEngine from the same Config
 	demotion string
+	// clamp records that the requested shard count exceeded the core
+	// count and was reduced ("" = no clamp); see ClampNotice. Before this
+	// existed the clamp was silent, and the reported shard count could
+	// disagree with what the user asked for with no explanation.
+	//simany:derived recomputed by setupEngine from the same Config
+	clamp string
 
 	// onTaskStart, when set, runs right after a fresh task is popped from
 	// a core's queue (the task runtime broadcasts queue occupancy here).
@@ -252,7 +258,36 @@ func fingerprint(cfg Config) uint64 {
 	h := splitmix64(uint64(cfg.Seed))
 	mix := func(v uint64) { h = splitmix64(h ^ v) }
 	mix(uint64(cfg.Topo.N()))
-	mix(uint64(cfg.Shards))
+	// Mix the *effective* shard count, clamped exactly as setupEngine
+	// clamps it: Shards=200 on a 64-core machine and Shards=64 produce
+	// identical partitions and must produce interchangeable checkpoints —
+	// previously the raw value was mixed and the fingerprints disagreed.
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > cfg.Topo.N() {
+		shards = cfg.Topo.N()
+	}
+	mix(uint64(shards))
+	// The topology's shape and link parameters define routes and message
+	// timing; the name covers the shape for the bundled flat constructors,
+	// and hierarchical topologies additionally mix every tier's mesh
+	// dimensions, link parameters and boundary penalty.
+	for _, b := range []byte(cfg.Topo.Name()) {
+		mix(uint64(b))
+	}
+	if hier := cfg.Topo.Hierarchy(); hier != nil {
+		for _, tr := range hier.Tiers {
+			mix(uint64(tr.W))
+			mix(uint64(tr.H))
+			//lint:allow rawvtime fingerprint hashing of tier link-latency configuration
+			mix(uint64(tr.Lat))
+			mix(uint64(tr.BW))
+			//lint:allow rawvtime fingerprint hashing of tier boundary-penalty configuration
+			mix(uint64(tr.Penalty))
+		}
+	}
 	mix(uint64(cfg.MaxSteps))
 	//lint:allow rawvtime fingerprint hashing: the millicycle values are mixed into a hash, never used as times
 	mix(uint64(cfg.TaskStartCost))
@@ -317,7 +352,20 @@ func New(cfg Config) *Kernel {
 		diam:          -2,
 	}
 	k.fprint = fingerprint(cfg)
+	// Per-core state is carved out of flat backing arrays — the Core
+	// structs themselves, their timing machinery, and the neighbor
+	// effective-time proxies — so a 100k-core machine costs a handful of
+	// large allocations instead of ~6 heap objects per core.
 	k.cores = make([]*Core, n)
+	backing := make([]Core, n)
+	timers := make([]timing.BlockTimer, n)
+	l1s := make([]cache.Scoped, n)
+	l2s := make([]cache.L2, n)
+	nbEffFlat := make([]vtime.Time, cfg.Topo.NumLinks())
+	for i := range nbEffFlat {
+		nbEffFlat[i] = vtime.Inf
+	}
+	off := 0
 	for i := 0; i < n; i++ {
 		speed := 1.0
 		if cfg.Speeds != nil {
@@ -329,26 +377,29 @@ func New(cfg Config) *Kernel {
 				panic("core: non-positive core speed")
 			}
 		}
-		c := &Core{
+		timers[i] = *timing.NewBlockTimer(cfg.CostModel, cfg.Predict(i, cfg.Seed))
+		l1s[i] = *cache.NewScoped(cache.DefaultLineSize)
+		l2s[i] = *cache.NewL2(cache.DefaultLineSize)
+		c := &backing[i]
+		*c = Core{
 			ID:         i,
 			Speed:      speed,
 			k:          k,
 			idle:       true,
 			eff:        vtime.Inf,
 			neighbors:  cfg.Topo.Neighbors(i),
-			timer:      timing.NewBlockTimer(cfg.CostModel, cfg.Predict(i, cfg.Seed)),
-			l1:         cache.NewScoped(cache.DefaultLineSize),
-			l2:         cache.NewL2(cache.DefaultLineSize),
+			timer:      &timers[i],
+			l1:         &l1s[i],
+			l2:         &l2s[i],
 			birthCache: vtime.Inf,
 			readyMin:   vtime.Inf,
 			contsMin:   vtime.Inf,
 			schedPos:   -1,
-			rng:        rng.New(splitmix64(uint64(cfg.Seed) ^ uint64(i))),
+			rng:        *rng.New(splitmix64(uint64(cfg.Seed) ^ uint64(i))),
 		}
-		c.nbEff = make([]vtime.Time, len(c.neighbors))
-		for j := range c.nbEff {
-			c.nbEff[j] = vtime.Inf
-		}
+		deg := len(c.neighbors)
+		c.nbEff = nbEffFlat[off : off+deg : off+deg]
+		off += deg
 		k.cores[i] = c
 	}
 	k.setupEngine(cfg)
@@ -365,6 +416,7 @@ func (k *Kernel) setupEngine(cfg Config) {
 	}
 	if shards > n {
 		shards = n
+		k.clamp = fmt.Sprintf("core: requested %d shards clamped to %d (one shard per core maximum)", cfg.Shards, n)
 	}
 	if shards > 1 {
 		if reason := k.shardUnsafeReason(cfg); reason != "" {
@@ -392,7 +444,7 @@ func (k *Kernel) setupEngine(cfg Config) {
 		k.quantum = 8 * t
 	}
 
-	k.part = topology.Partition(k.topo, shards)
+	k.part = topology.PartitionFor(k.topo, shards)
 	k.net.SetStripes(shards, k.part)
 	k.domains = make([]*domain, shards)
 	for s := 0; s < shards; s++ {

@@ -180,3 +180,9 @@ func (k *Kernel) DemotionNotice() string {
 	}
 	return "core: sharded execution demoted to sequential: " + k.demotion
 }
+
+// ClampNotice returns a warning when the requested shard count exceeded
+// the core count and was clamped (Config.Shards > N means some shards
+// would own no cores), and "" when the configuration was used as given.
+// The effective count is what Result.Shards and the partition reflect.
+func (k *Kernel) ClampNotice() string { return k.clamp }

@@ -71,22 +71,35 @@ type Model struct {
 
 	// next[src][dst] holds the index (into the topology's neighbor list
 	// of src) of the next hop toward dst, -1 at the destination itself.
+	// It is the dense router used for flat topologies; hierarchical
+	// (chiplet) topologies leave it nil and route through hier, whose
+	// per-tier tables are shared by every unit of a tier — a 100k-core
+	// machine cannot afford the O(n²) dense table (20 GB of int16).
 	//
 	//simany:derived routing table, recomputed by New from the topology
 	next [][]int16
+	//simany:derived hierarchical routing tables, recomputed by New from the topology
+	hier *hierRouter
+
 	// Per-node parallel arrays indexed like topology.Neighbors(node):
-	// outgoing link latency, bandwidth, and the contention next-free time.
-	nbLat  [][]vtime.Time //simany:derived per-link latency configuration, rebuilt by New
-	nbBW   [][]int        //simany:derived per-link bandwidth configuration, rebuilt by New
+	// outgoing link latency and bandwidth (views into the topology's own
+	// CSR arrays — configuration, never copied) and the contention
+	// next-free time (mutable model state, one flat backing array).
+	nbLat  [][]vtime.Time //simany:derived per-link latency views into the topology, rebuilt by New
+	nbBW   [][]int        //simany:derived per-link bandwidth views into the topology, rebuilt by New
 	nbFree [][]vtime.Time
 
-	// lastArrival[src] is the FIFO clamp page for source src: a flat
-	// array indexed by destination, allocated lazily on src's first send
-	// so warm-path sends never touch the allocator. It is indexed by
-	// source so that under sharded execution each page is only touched by
-	// the shard sending on behalf of src (or by the single-threaded
-	// barrier).
-	lastArrival [][]vtime.Time
+	// lastArrival[src] is the FIFO clamp page table for source src:
+	// fixed-size pages indexed by destination, the table allocated on
+	// src's first send and each page on the first send into its
+	// destination block, so warm-path sends never touch the allocator.
+	// Paging matters at scale: a flat per-source array would cost
+	// n × 8 bytes per active source (0.8 MB each at 100k cores), while a
+	// source that only ever talks to its neighborhood touches a handful
+	// of 4 KB pages. It is indexed by source so that under sharded
+	// execution each page is only touched by the shard sending on behalf
+	// of src (or by the single-threaded barrier).
+	lastArrival [][][]vtime.Time
 
 	// srcSeq[src] counts the messages emitted by src. Like lastArrival it
 	// is only advanced from src's own execution context, so Message.Seq
@@ -143,28 +156,47 @@ func New(t *topology.Topology, p Params) *Model {
 		nbLat:       make([][]vtime.Time, n),
 		nbBW:        make([][]int, n),
 		nbFree:      make([][]vtime.Time, n),
-		lastArrival: make([][]vtime.Time, n),
+		lastArrival: make([][][]vtime.Time, n),
 		srcSeq:      make([]uint64, n),
 		messages:    metrics.NewStriped(1),
 		totalHops:   metrics.NewStriped(1),
 		bytes:       metrics.NewStriped(1),
 	}
+	flatFree := make([]vtime.Time, t.NumLinks())
+	off := 0
 	for node := 0; node < n; node++ {
-		nbs := t.Neighbors(node)
-		m.nbLat[node] = make([]vtime.Time, len(nbs))
-		m.nbBW[node] = make([]int, len(nbs))
-		m.nbFree[node] = make([]vtime.Time, len(nbs))
-		for j, nb := range nbs {
-			l, ok := t.LinkBetween(node, nb)
-			if !ok {
-				panic("network: neighbor without link")
-			}
-			m.nbLat[node][j] = l.Latency
-			m.nbBW[node][j] = l.Bandwidth
+		m.nbLat[node] = t.NeighborLatencies(node)
+		m.nbBW[node] = t.NeighborBandwidths(node)
+		deg := t.Degree(node)
+		m.nbFree[node] = flatFree[off : off+deg : off+deg]
+		off += deg
+	}
+	if h := t.Hierarchy(); h != nil {
+		m.hier = newHierRouter(h)
+	} else {
+		m.buildRoutes()
+	}
+	return m
+}
+
+// nextHop returns the index (into cur's neighbor list) of the next hop
+// toward dst, -1 when cur == dst. Flat topologies read the dense table;
+// hierarchical topologies compute the hop from the shared per-tier tables
+// and locate the neighbor with a scan over cur's (tiny) adjacency.
+func (m *Model) nextHop(cur, dst int) int {
+	if m.next != nil {
+		return int(m.next[cur][dst])
+	}
+	nc := m.hier.nextCore(cur, dst)
+	if nc < 0 {
+		return -1
+	}
+	for j, nb := range m.topo.Neighbors(cur) {
+		if nb == nc {
+			return j
 		}
 	}
-	m.buildRoutes()
-	return m
+	panic(fmt.Sprintf("network: hierarchical route %d -> %d proposes non-neighbor %d", cur, dst, nc))
 }
 
 // nbIndex returns the index of neighbor nb in node's neighbor list.
@@ -336,7 +368,7 @@ func (h *nodeHeap) pop() nodeItem {
 func (m *Model) AppendRoute(path []int, src, dst int) []int {
 	path = append(path, src)
 	for cur := src; cur != dst; {
-		j := m.next[cur][dst]
+		j := m.nextHop(cur, dst)
 		if j < 0 {
 			panic(fmt.Sprintf("network: no route %d -> %d", src, dst))
 		}
@@ -391,7 +423,7 @@ func (m *Model) Send(msg Message) Message {
 	chunkBytes := m.chunks(msg.Size) * int64(m.params.ChunkSize)
 	cur := msg.Src
 	for cur != msg.Dst {
-		j := m.next[cur][msg.Dst]
+		j := m.nextHop(cur, msg.Dst)
 		lat := m.nbLat[cur][j]
 		bw := m.nbBW[cur][j]
 		// Serialization: chunk bytes / bandwidth, in cycles.
@@ -413,19 +445,30 @@ func (m *Model) Send(msg Message) Message {
 	}
 	m.totalHops.Add(stripe, int64(msg.Hops))
 	// FIFO guarantee per (src,dst): arrivals never reorder. The clamp page
-	// is allocated on the source's first send and owned by its shard.
-	la := m.lastArrival[msg.Src]
-	if la == nil {
-		la = make([]vtime.Time, len(m.lastArrival))
-		m.lastArrival[msg.Src] = la
+	// table is allocated on the source's first send, each destination page
+	// on first use, and both are owned by the source's shard.
+	tab := m.lastArrival[msg.Src]
+	if tab == nil {
+		tab = make([][]vtime.Time, (len(m.lastArrival)+laPageSize-1)/laPageSize)
+		m.lastArrival[msg.Src] = tab
 	}
-	if last := la[msg.Dst]; t < last {
-		t = last
+	page := tab[msg.Dst/laPageSize]
+	if page == nil {
+		page = make([]vtime.Time, laPageSize)
+		tab[msg.Dst/laPageSize] = page
 	}
-	la[msg.Dst] = t
+	slot := &page[msg.Dst%laPageSize]
+	if t < *slot {
+		t = *slot
+	}
+	*slot = t
 	msg.Arrival = t
 	return msg
 }
+
+// laPageSize is the FIFO clamp page granularity in destinations (4 KB
+// pages). It is part of the checkpoint encoding (snapshot.go).
+const laPageSize = 512
 
 // Seq returns the deterministic emission index of msg (valid after Send):
 // the per-source message count encoded with the source ID, so values are
@@ -471,7 +514,7 @@ func (m *Model) RouteWithin(src, dst int, part []int) bool {
 		return false
 	}
 	for cur := src; cur != dst; {
-		j := m.next[cur][dst]
+		j := m.nextHop(cur, dst)
 		if j < 0 {
 			panic(fmt.Sprintf("network: no route %d -> %d", src, dst))
 		}
@@ -510,7 +553,7 @@ func (m *Model) MinLatency(src, dst, size int) vtime.Time {
 	var t vtime.Time
 	cur := src
 	for cur != dst {
-		j := m.next[cur][dst]
+		j := m.nextHop(cur, dst)
 		bw := m.nbBW[cur][j]
 		ser := vtime.Time(0)
 		if bw > 0 {

@@ -1,0 +1,145 @@
+package network
+
+import (
+	"testing"
+
+	"simany/internal/topology"
+	"simany/internal/vtime"
+)
+
+func chipletModel() *Model {
+	top := topology.Chiplet([]topology.Tier{
+		{W: 2, H: 2, Lat: vtime.CyclesInt(1), BW: 128},
+		{W: 2, H: 2, Lat: vtime.CyclesInt(4), BW: 64, Penalty: vtime.CyclesInt(2)},
+		{W: 2, H: 1, Lat: vtime.CyclesInt(8), BW: 32, Penalty: vtime.CyclesInt(4)},
+	})
+	return New(top, DefaultParams())
+}
+
+// TestHierRouteValid walks every (src, dst) pair of a 3-tier 32-core
+// chiplet machine and checks that the hierarchical router produces a real
+// path: every step a topology link, terminating at dst, with a hop count
+// bounded by the analytic diameter bound.
+func TestHierRouteValid(t *testing.T) {
+	m := chipletModel()
+	top := m.Topology()
+	n := top.N()
+	bound := top.Diameter()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			r := m.Route(src, dst)
+			if r[0] != src || r[len(r)-1] != dst {
+				t.Fatalf("route %d->%d endpoints wrong: %v", src, dst, r)
+			}
+			if len(r)-1 > bound {
+				t.Fatalf("route %d->%d takes %d hops, above diameter bound %d",
+					src, dst, len(r)-1, bound)
+			}
+			for i := 1; i < len(r); i++ {
+				if _, ok := top.LinkBetween(r[i-1], r[i]); !ok {
+					t.Fatalf("route %d->%d uses non-link %d-%d: %v", src, dst, r[i-1], r[i], r)
+				}
+			}
+		}
+	}
+}
+
+// TestHierRouteLocalOptimal: within a single chiplet the hierarchical
+// router must match the mesh shortest path (no detours through gateways).
+func TestHierRouteLocalOptimal(t *testing.T) {
+	m := chipletModel()
+	top := m.Topology()
+	for src := 0; src < 4; src++ {
+		for dst := 0; dst < 4; dst++ {
+			r := m.Route(src, dst)
+			if want := top.HopDistance(src, dst); len(r)-1 != want {
+				t.Errorf("intra-chiplet route %d->%d: %d hops, want %d", src, dst, len(r)-1, want)
+			}
+		}
+	}
+}
+
+func TestHierRouteDeterministic(t *testing.T) {
+	a, b := chipletModel(), chipletModel()
+	n := a.Topology().N()
+	for src := 0; src < n; src += 3 {
+		for dst := 0; dst < n; dst += 5 {
+			ra, rb := a.Route(src, dst), b.Route(src, dst)
+			if len(ra) != len(rb) {
+				t.Fatalf("nondeterministic hier route %d->%d", src, dst)
+			}
+			for i := range ra {
+				if ra[i] != rb[i] {
+					t.Fatalf("nondeterministic hier route %d->%d: %v vs %v", src, dst, ra, rb)
+				}
+			}
+		}
+	}
+}
+
+// TestHierSendCrossesTiers: a cross-package send pays at least the gateway
+// latencies its path must traverse, and per-pair FIFO holds across the
+// paged last-arrival clamp (dst indices far apart land on separate pages).
+func TestHierSendCrossesTiers(t *testing.T) {
+	m := chipletModel()
+	// 0 is in chip 0 / package half 0; 31 is the far corner (package
+	// gateway latency 8+4, chip gateways 4+2, chiplet links 1).
+	msg := m.Send(Message{Src: 0, Dst: 31, Size: 8, Stamp: 0})
+	if msg.Hops < 3 {
+		t.Fatalf("cross-package send took %d hops", msg.Hops)
+	}
+	// Any path 0->31 crosses the single package gateway (12cy) at least
+	// once, so arrival must exceed it.
+	if msg.Arrival <= vtime.CyclesInt(12) {
+		t.Errorf("cross-package arrival %v does not include gateway latency", msg.Arrival)
+	}
+	// FIFO: an earlier-stamped message sent later to the same pair must not
+	// overtake.
+	second := m.Send(Message{Src: 0, Dst: 31, Size: 8, Stamp: 0})
+	if second.Arrival < msg.Arrival {
+		t.Errorf("per-pair FIFO violated: %v before %v", second.Arrival, msg.Arrival)
+	}
+}
+
+// TestPagedClampAcrossPages exercises the paged last-arrival table with
+// destinations on distinct pages of a machine larger than one 512-entry
+// page: pages allocate lazily per destination block, slots record each
+// pair's own arrival, and same-offset slots on different pages never alias.
+func TestPagedClampAcrossPages(t *testing.T) {
+	top := topology.Chiplet([]topology.Tier{
+		{W: 16, H: 16, Lat: vtime.CyclesInt(1), BW: 128},
+		{W: 2, H: 2, Lat: vtime.CyclesInt(4), BW: 64, Penalty: vtime.CyclesInt(2)},
+	})
+	m := New(top, DefaultParams())
+	if m.lastArrival[0] != nil {
+		t.Fatal("clamp table allocated before first send")
+	}
+	// 1024 cores = 2 pages. Dst 100 and dst 612 share the in-page offset
+	// (612 % 512 == 100), so a paging bug that reused one page for every
+	// block would alias exactly these two slots.
+	a := m.Send(Message{Src: 0, Dst: 100, Size: 64, Stamp: 0})
+	b := m.Send(Message{Src: 0, Dst: 612, Size: 64, Stamp: 0})
+	tab := m.lastArrival[0]
+	if len(tab) != 2 || tab[0] == nil || tab[1] == nil {
+		t.Fatalf("page table malformed: %d pages, nil0=%v nil1=%v",
+			len(tab), tab[0] == nil, tab[1] == nil)
+	}
+	if m.lastArrival[1] != nil {
+		t.Error("clamp table allocated for a source that never sent")
+	}
+	if tab[0][100] != a.Arrival {
+		t.Errorf("page 0 slot = %v, want dst 100 arrival %v", tab[0][100], a.Arrival)
+	}
+	if tab[1][100] != b.Arrival {
+		t.Errorf("page 1 slot = %v, want dst 612 arrival %v", tab[1][100], b.Arrival)
+	}
+	if tab[0][100] == tab[1][100] {
+		t.Errorf("same-offset slots alias across pages (both %v)", tab[0][100])
+	}
+	// FIFO per pair across the paged table: an earlier-stamped message to
+	// dst 612 must not overtake its predecessor.
+	b2 := m.Send(Message{Src: 0, Dst: 612, Size: 8, Stamp: 0})
+	if b2.Arrival < b.Arrival {
+		t.Errorf("per-pair FIFO violated on page 1: %v before %v", b2.Arrival, b.Arrival)
+	}
+}

@@ -9,9 +9,10 @@ import (
 
 // Snapshot appends the model's mutable state: per-source emission
 // counters, per-link contention next-free times, the lazily-paged FIFO
-// clamp arrays (a nil flag per page, so the lazy allocation pattern — not
-// just its contents — round-trips), and the striped statistics totals.
-// Routing tables and link parameters are configuration, rebuilt by New.
+// clamp arrays (a nil flag per source table and per destination page, so
+// the lazy allocation pattern — not just its contents — round-trips), and
+// the striped statistics totals. Routing tables and link parameters are
+// configuration, rebuilt by New.
 func (m *Model) Snapshot(enc *snap.Encoder) {
 	enc.Uvarint(uint64(len(m.srcSeq)))
 	for _, s := range m.srcSeq {
@@ -23,11 +24,17 @@ func (m *Model) Snapshot(enc *snap.Encoder) {
 			enc.Time(t)
 		}
 	}
-	for _, page := range m.lastArrival {
-		enc.Bool(page != nil)
-		if page != nil {
-			for _, t := range page {
-				enc.Time(t)
+	for _, tab := range m.lastArrival {
+		enc.Bool(tab != nil)
+		if tab == nil {
+			continue
+		}
+		for _, page := range tab {
+			enc.Bool(page != nil)
+			if page != nil {
+				for _, t := range page {
+					enc.Time(t)
+				}
 			}
 		}
 	}
@@ -65,6 +72,7 @@ func (m *Model) Restore(dec *snap.Decoder) error {
 			}
 		}
 	}
+	nPages := (len(m.lastArrival) + laPageSize - 1) / laPageSize
 	for src := range m.lastArrival {
 		present, err := dec.Bool()
 		if err != nil {
@@ -74,14 +82,29 @@ func (m *Model) Restore(dec *snap.Decoder) error {
 			m.lastArrival[src] = nil
 			continue
 		}
-		page := m.lastArrival[src]
-		if page == nil {
-			page = make([]vtime.Time, len(m.lastArrival))
-			m.lastArrival[src] = page
+		tab := m.lastArrival[src]
+		if tab == nil {
+			tab = make([][]vtime.Time, nPages)
+			m.lastArrival[src] = tab
 		}
-		for dst := range page {
-			if page[dst], err = dec.Time(); err != nil {
+		for pi := range tab {
+			present, err := dec.Bool()
+			if err != nil {
 				return err
+			}
+			if !present {
+				tab[pi] = nil
+				continue
+			}
+			page := tab[pi]
+			if page == nil {
+				page = make([]vtime.Time, laPageSize)
+				tab[pi] = page
+			}
+			for d := range page {
+				if page[d], err = dec.Time(); err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -194,9 +194,16 @@ func New(k *core.Kernel, alloc *mem.Allocator, opt Options) *Runtime {
 		sgroups:      make(map[uint64]*Group),
 		nextGid:      1,
 	}
+	// The per-core occupancy proxies are views into one flat backing array
+	// (one int per directed link) rather than n separate slices — at 100k
+	// cores the per-core make() calls dominate Runtime construction.
+	occFlat := make([]int, k.Topology().NumLinks())
+	off := 0
 	for i := 0; i < n; i++ {
 		r.nbs[i] = k.Topology().Neighbors(i)
-		r.occ[i] = make([]int, len(r.nbs[i]))
+		deg := len(r.nbs[i])
+		r.occ[i] = occFlat[off : off+deg : off+deg]
+		off += deg
 	}
 	if k.Sharded() {
 		// Deterministic cell ids/addresses for concurrent creators.

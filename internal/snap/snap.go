@@ -197,8 +197,10 @@ func (d *Decoder) Time() (vtime.Time, error) {
 // Container format constants.
 const (
 	magic = "SIMANYCK"
-	// Version is the current checkpoint format version.
-	Version = 1
+	// Version is the current checkpoint format version. Version 2 paged
+	// the network FIFO-clamp encoding by destination block (the flat
+	// per-source arrays of version 1 do not scale to 100k-core machines).
+	Version = 2
 )
 
 // Engine identifies which kernel engine wrote the checkpoint; the position

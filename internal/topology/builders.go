@@ -32,19 +32,26 @@ func MeshDims(n int) (w, h int) {
 
 // Mesh2D builds a w×h 2D mesh with uniform link parameters.
 func Mesh2D(w, h int, lat vtime.Time, bw int) *Topology {
-	t := New(w*h, fmt.Sprintf("mesh-%dx%d", w, h))
+	return fromEdges(w*h, fmt.Sprintf("mesh-%dx%d", w, h),
+		meshEdges(nil, 0, w, h, 1, lat, bw))
+}
+
+// meshEdges appends the undirected edges of a w×h mesh whose node (x,y) is
+// base + (y·w+x)·stride. stride > 1 lays a mesh over units of that many
+// cores (the hierarchy tiers connect unit corners, hierarchy.go).
+func meshEdges(edges []edge, base, w, h, stride int, lat vtime.Time, bw int) []edge {
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
-			c := y*w + x
+			c := base + (y*w+x)*stride
 			if x+1 < w {
-				t.AddLink(c, c+1, lat, bw)
+				edges = append(edges, edge{c, c + stride, lat, bw})
 			}
 			if y+1 < h {
-				t.AddLink(c, c+w, lat, bw)
+				edges = append(edges, edge{c, c + w*stride, lat, bw})
 			}
 		}
 	}
-	return t
+	return edges
 }
 
 // Mesh builds the most-square 2D mesh with n cores and default link
@@ -135,35 +142,34 @@ func Clustered(n int, p ClusteredParams) *Topology {
 	}
 	per := n / k
 	w, h := MeshDims(per)
-	t := New(n, fmt.Sprintf("clustered-%d-of-%d", k, per))
+	var edges []edge
 	// Intra-cluster meshes.
 	for ci := 0; ci < k; ci++ {
-		base := ci * per
-		for y := 0; y < h; y++ {
-			for x := 0; x < w; x++ {
-				c := base + y*w + x
-				if x+1 < w {
-					t.AddLink(c, c+1, p.IntraLat, p.Bandwidth)
-				}
-				if y+1 < h {
-					t.AddLink(c, c+w, p.IntraLat, p.Bandwidth)
-				}
-			}
-		}
+		edges = meshEdges(edges, ci*per, w, h, 1, p.IntraLat, p.Bandwidth)
 	}
 	// Inter-cluster links: clusters form their own mesh, connected through
 	// corner cores (core 0 of one cluster to core per-1 of the other).
 	cw, chh := MeshDims(k)
-	for cy := 0; cy < chh; cy++ {
-		for cx := 0; cx < cw; cx++ {
-			ci := cy*cw + cx
-			if cx+1 < cw {
-				t.AddLink(ci*per+per-1, (ci+1)*per, p.InterLat, p.Bandwidth)
+	edges = cornerEdges(edges, 0, cw, chh, per, p.InterLat, p.Bandwidth, 0)
+	return fromEdges(n, fmt.Sprintf("clustered-%d-of-%d", k, per), edges)
+}
+
+// cornerEdges appends the gateway links of a uw×uh mesh of per-core units
+// starting at base: each unit's last core connects to the first core of its
+// +x and +y neighbor units. pen is a boundary-crossing penalty added to the
+// link latency (the hierarchy tiers' serialization cost; 0 for Clustered).
+func cornerEdges(edges []edge, base, uw, uh, per int, lat vtime.Time, bw int, pen vtime.Time) []edge {
+	for uy := 0; uy < uh; uy++ {
+		for ux := 0; ux < uw; ux++ {
+			ui := uy*uw + ux
+			last := base + ui*per + per - 1
+			if ux+1 < uw {
+				edges = append(edges, edge{last, base + (ui+1)*per, lat + pen, bw})
 			}
-			if cy+1 < chh {
-				t.AddLink(ci*per+per-1, (ci+cw)*per, p.InterLat, p.Bandwidth)
+			if uy+1 < uh {
+				edges = append(edges, edge{last, base + (ui+uw)*per, lat + pen, bw})
 			}
 		}
 	}
-	return t
+	return edges
 }

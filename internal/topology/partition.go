@@ -44,6 +44,80 @@ func Partition(t *Topology, k int) []int {
 	return part
 }
 
+// PartitionFor returns the shard assignment the engine should use for t:
+// for hierarchical (chiplet) topologies it aligns shard boundaries with
+// physical unit boundaries, otherwise it falls back to the flat contiguous
+// Partition. Like Partition, k is clamped to [1, N] and the assignment is
+// deterministic and independent of host scheduling.
+//
+// Alignment picks the coarsest tier granularity that still yields at least
+// k units, then deals whole units to shards contiguously (the first
+// U mod k shards take one extra unit). A cut then only ever severs gateway
+// links of that tier or above — the slow, narrow links — never a
+// chiplet-internal mesh edge, so chip-aligned cuts are no larger than flat
+// contiguous cuts (enforced by TestPartitionAlignedCutNoWorse). If k
+// exceeds the chiplet count the unit granularity cannot satisfy k and the
+// flat partition is used.
+func PartitionFor(t *Topology, k int) []int {
+	h := t.Hierarchy()
+	n := t.N()
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if h == nil || k == 1 {
+		return Partition(t, k)
+	}
+	// Coarsest tier with at least k units. Tier len-1 is the whole
+	// machine (1 unit), so start below it.
+	per := 0
+	for tier := len(h.Tiers) - 2; tier >= 0; tier-- {
+		if h.NumUnits(tier) >= k {
+			per = h.CoresPerUnit(tier)
+			break
+		}
+	}
+	if per == 0 {
+		// More shards than chiplets: units cannot be dealt whole.
+		return Partition(t, k)
+	}
+	units := n / per
+	part := make([]int, n)
+	v := 0
+	for s := 0; s < k; s++ {
+		u := units / k
+		if s < units%k {
+			u++
+		}
+		for i := 0; i < u*per; i++ {
+			part[v] = s
+			v++
+		}
+	}
+	return part
+}
+
+// TierCuts classifies the cut edges of an assignment by hierarchy tier:
+// element i counts cut edges whose tier is i (EdgeTier). For flat
+// topologies it returns a single element equal to CutEdges.
+func TierCuts(t *Topology, part []int) []int {
+	h := t.Hierarchy()
+	if h == nil {
+		return []int{CutEdges(t, part)}
+	}
+	cuts := make([]int, len(h.Tiers))
+	for v := 0; v < t.N(); v++ {
+		for _, nb := range t.Neighbors(v) {
+			if v < nb && part[v] != part[nb] {
+				cuts[h.EdgeTier(v, nb)]++
+			}
+		}
+	}
+	return cuts
+}
+
 // CutEdges counts the undirected topology edges whose endpoints fall in
 // different parts of the given assignment.
 func CutEdges(t *Topology, part []int) int {

@@ -1,0 +1,151 @@
+package topology
+
+import "testing"
+
+// partitionInvariants checks the properties every shard assignment must
+// satisfy: full coverage, values in [0,k), balance within the unit the
+// partitioner deals (one core flat, one chiplet aligned).
+func partitionInvariants(t *testing.T, part []int, n, k, unit int) {
+	t.Helper()
+	if len(part) != n {
+		t.Fatalf("len(part) = %d, want %d", len(part), n)
+	}
+	eff := k
+	if eff > n {
+		eff = n
+	}
+	sizes := PartSizes(part, eff)
+	min, max := n, 0
+	for s, sz := range sizes {
+		if sz == 0 {
+			t.Errorf("shard %d is empty", s)
+		}
+		if sz < min {
+			min = sz
+		}
+		if sz > max {
+			max = sz
+		}
+	}
+	if max-min > unit {
+		t.Errorf("imbalance %d-%d exceeds one unit (%d cores)", max, min, unit)
+	}
+	for i := 1; i < n; i++ {
+		if part[i] < part[i-1] {
+			t.Fatalf("assignment not contiguous at core %d: %d after %d", i, part[i], part[i-1])
+		}
+	}
+}
+
+func TestPartitionForAlignsWithChiplets(t *testing.T) {
+	top := Chiplet([]Tier{
+		{W: 2, H: 2, Lat: 1, BW: 128},
+		{W: 4, H: 2, Lat: 4, BW: 64, Penalty: 2},
+	})
+	h := top.Hierarchy()
+	part := PartitionFor(top, 4) // 8 chiplets of 4 cores → 2 chiplets/shard
+	partitionInvariants(t, part, 32, 4, 4)
+	// Every chiplet lands entirely in one shard.
+	for c := 0; c < top.N(); c++ {
+		u := h.UnitOf(c, 0)
+		if part[c] != part[u*4] {
+			t.Fatalf("core %d split off from its chiplet %d", c, u)
+		}
+	}
+	// No cut edge is chiplet-internal.
+	cuts := TierCuts(top, part)
+	if cuts[0] != 0 {
+		t.Errorf("aligned partition cuts %d chiplet-internal edges", cuts[0])
+	}
+	total := 0
+	for _, c := range cuts {
+		total += c
+	}
+	if total != CutEdges(top, part) {
+		t.Errorf("TierCuts sum %d != CutEdges %d", total, CutEdges(top, part))
+	}
+}
+
+// TestPartitionAlignedCutNoWorse is the property PartitionFor's doc comment
+// promises: on chiplet machines, dealing whole chiplets never cuts more
+// edges than the flat contiguous split.
+func TestPartitionAlignedCutNoWorse(t *testing.T) {
+	machines := [][]Tier{
+		{{W: 2, H: 2, Lat: 1, BW: 1}, {W: 2, H: 2, Lat: 1, BW: 1}},
+		{{W: 4, H: 4, Lat: 1, BW: 1}, {W: 3, H: 2, Lat: 1, BW: 1}},
+		{{W: 3, H: 3, Lat: 1, BW: 1}, {W: 2, H: 2, Lat: 1, BW: 1}, {W: 2, H: 1, Lat: 1, BW: 1}},
+	}
+	for _, tiers := range machines {
+		top := Chiplet(tiers)
+		for k := 1; k <= top.N()+1; k++ {
+			aligned := CutEdges(top, PartitionFor(top, k))
+			flat := CutEdges(top, Partition(top, k))
+			if aligned > flat {
+				t.Errorf("%s k=%d: aligned cut %d > flat cut %d", top.Name(), k, aligned, flat)
+			}
+		}
+	}
+}
+
+func TestPartitionForFallsBackWhenOverSharded(t *testing.T) {
+	// 4 chiplets of 4 cores: k=7 exceeds the chiplet count, so units cannot
+	// be dealt whole and PartitionFor must match the flat partition.
+	top := chip2x2()
+	part := PartitionFor(top, 7)
+	flat := Partition(top, 7)
+	for i := range part {
+		if part[i] != flat[i] {
+			t.Fatalf("over-sharded fallback diverges from flat at core %d", i)
+		}
+	}
+	partitionInvariants(t, part, 16, 7, 1)
+}
+
+func TestPartitionEdgeCases(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		top  *Topology
+	}{
+		{"mesh", Mesh(12)},
+		{"chiplet", chip2x2()},
+	} {
+		top := mk.top
+		n := top.N()
+
+		// k > N clamps to one shard per core.
+		part := PartitionFor(top, n+5)
+		partitionInvariants(t, part, n, n, 1)
+		if part[n-1] != n-1 {
+			t.Errorf("%s: k>N clamp: last core in shard %d, want %d", mk.name, part[n-1], n-1)
+		}
+
+		// k = 0 and negative clamp to a single shard.
+		for _, k := range []int{0, -3} {
+			for i, p := range PartitionFor(top, k) {
+				if p != 0 {
+					t.Fatalf("%s: k=%d: core %d in shard %d", mk.name, k, i, p)
+				}
+			}
+		}
+
+		// N % k != 0 still balances to within one dealt unit.
+		unit := 1
+		if h := top.Hierarchy(); h != nil {
+			unit = h.CoresPerUnit(0)
+		}
+		partitionInvariants(t, PartitionFor(top, 5), n, 5, unit)
+	}
+
+	// Single-core machine: every k collapses to the one valid assignment.
+	one := Mesh(1)
+	for _, k := range []int{1, 2, 100} {
+		part := PartitionFor(one, k)
+		if len(part) != 1 || part[0] != 0 {
+			t.Errorf("single core, k=%d: part = %v", k, part)
+		}
+	}
+	oneChip := Chiplet([]Tier{{W: 1, H: 1, Lat: 1, BW: 1}})
+	if part := PartitionFor(oneChip, 3); len(part) != 1 || part[0] != 0 {
+		t.Errorf("single-core chiplet: part = %v", part)
+	}
+}
