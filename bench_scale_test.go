@@ -171,3 +171,63 @@ func TestScale100kFootprint(t *testing.T) {
 			ms.HeapAlloc, uint64(scaleFootprintCeiling))
 	}
 }
+
+// scaleSparseBudget bounds the wall clock of the sparse 100k smoke run.
+// With lazy effective times the run takes a few seconds on one CPU; the
+// eager flood would recompute the ~102k-core idle region on every one of
+// the ~10^5 scheduling steps and blow far past this, so the budget doubles
+// as a regression gate on the per-completion cost.
+const scaleSparseBudget = 90 * time.Second
+
+// TestScale100kSparse is the sparse counterpart of the footprint smoke:
+// the same 102400-core chiplet machine with only 256 busy cores, run TO
+// COMPLETION. Dense machines amortize idle-region maintenance over busy
+// work; a sparse machine is all idle region, which is exactly the regime
+// the lazy effective-time scheme (docs/effective-time.md) exists for.
+func TestScale100kSparse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-core machine build in -short mode")
+	}
+	topo, err := topology.ParseSpec("chiplet:8x8,4x4,10x10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 16
+	k := core.New(core.Config{
+		Topo:   topo,
+		Policy: core.Spatial{T: core.DefaultT},
+		Seed:   7,
+		Shards: shards,
+	})
+	if got := k.EffScheme(); got != "lazy" {
+		t.Fatalf("effective-time scheme = %q, want lazy (the point of the sparse smoke)", got)
+	}
+	// 256 tasks strided across the machine: every shard owns a sliver of
+	// the busy frontier, the rest of its cores sit idle the whole run.
+	const tasks = 256
+	stride := topo.N() / tasks
+	for i := 0; i < tasks; i++ {
+		k.InjectTask(i*stride, "w", func(e *core.Env) {
+			for j := 0; j < 200; j++ {
+				e.ComputeCycles(100)
+			}
+		}, nil, 0)
+	}
+	start := time.Now()
+	res, err := k.Run()
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sparse 100k run: %d steps in %v (%d busy of %d cores)",
+		res.Steps, wall.Round(time.Millisecond), tasks, topo.N())
+	// One scheduling step executes compute slices until the drift horizon
+	// interrupts, so steps ≪ slices; the run completing at all (liveTasks
+	// drained) plus a per-task floor keeps the check non-vacuous.
+	if res.Steps < tasks {
+		t.Errorf("steps = %d, want >= %d", res.Steps, tasks)
+	}
+	if wall > scaleSparseBudget {
+		t.Errorf("sparse run took %v, budget %v — per-completion cost is scaling with the idle region again", wall, scaleSparseBudget)
+	}
+}

@@ -122,6 +122,14 @@ type Machine struct {
 	// "verify" runs both side by side, panicking on divergence. The
 	// choice never affects results — only host speed.
 	Sched string
+	// Eff selects the effective-time evaluation scheme
+	// (docs/effective-time.md): "auto" or "" evaluates idle-region shadow
+	// times lazily from the busy frontier when the policy supports it,
+	// "eager" forces the reference per-completion propagation flood,
+	// "lazy" requests lazy evaluation explicitly, and "verify" runs eager
+	// authoritatively with a lazy cross-check, panicking on divergence.
+	// Like Sched, the choice never affects results — only host speed.
+	Eff string
 	// Metrics, when non-nil, attaches a deterministic metrics registry:
 	// the kernel records its standard instruments (message latency, link
 	// contention, barrier stalls — see docs/observability.md) into it, and
@@ -190,6 +198,22 @@ func (m Machine) parseSched() (core.SchedMode, error) {
 		return core.SchedVerify, nil
 	default:
 		return 0, fmt.Errorf("config: unknown scheduler mode %q", m.Sched)
+	}
+}
+
+// parseEff resolves the effective-time evaluation-scheme string.
+func (m Machine) parseEff() (core.EffMode, error) {
+	switch m.Eff {
+	case "", "auto":
+		return core.EffAuto, nil
+	case "eager":
+		return core.EffEager, nil
+	case "lazy":
+		return core.EffLazy, nil
+	case "verify":
+		return core.EffVerify, nil
+	default:
+		return 0, fmt.Errorf("config: unknown effective-time mode %q", m.Eff)
 	}
 }
 
@@ -274,6 +298,10 @@ func (m Machine) Build() (*core.Kernel, *rt.Runtime, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	eff, err := m.parseEff()
+	if err != nil {
+		return nil, nil, err
+	}
 	topo := m.Topology()
 	netParams := network.DefaultParams()
 	var ms core.MemSystem
@@ -300,6 +328,7 @@ func (m Machine) Build() (*core.Kernel, *rt.Runtime, error) {
 		Shards:    m.Shards,
 		Workers:   m.Workers,
 		Sched:     sched,
+		Eff:       eff,
 		Metrics:   m.Metrics,
 	}
 	if isCycleLevel {

@@ -1,0 +1,852 @@
+package core
+
+import (
+	"fmt"
+
+	"simany/internal/vtime"
+)
+
+// Lazy idle-region effective time.
+//
+// The eager implementation (domain.updateEff, engine.go) pushes every
+// effective-time change through the surrounding idle region until a
+// fixpoint: a task completion on a 100k-core machine with a handful of
+// busy cores floods O(idle region) state. The machinery in this file
+// inverts the direction: idle cores' effective times are *pulled* on
+// demand from the busy frontier, so a completion touches O(1) state and
+// the cost is paid only by the (few) cores whose horizon actually reads a
+// shadow time.
+//
+// Representation. There is no materialized region structure: an idle
+// region is implicit — the connected set of idle cores reachable from a
+// queried core without crossing a busy core or the domain boundary. Its
+// effective times are fully determined by the region's *frontier
+// anchors*: the maintained effective times of local busy cores and the
+// frozen cross-shard proxies held by the region's cores. For the spatial
+// policy (IdleTime = min(neighbor eff) + T) the unique fixpoint of the
+// eager relaxation assigns an idle core c
+//
+//	eff(c) = min over anchors a of  anchor(a) + T·(hops(c,a) + 1)
+//
+// where hops counts idle cores on a shortest path from c to a that stays
+// inside the domain's idle cores. domain.lazyFix computes exactly that by
+// a ring-layered BFS from the queried core, with an aggressive cutoff: a
+// lower bound on every anchor (domain.effFloor) prunes rings that cannot
+// improve the best value found so far. Sparse machines terminate after
+// one or two rings around the nearest busy core.
+//
+// Memoization. Computed values are cached in Core.eff (the same slot the
+// eager path maintains) and stamped with the domain's invalidation epoch
+// (Core.effStamp vs domain.effEpoch). The epoch advances whenever any
+// anchor of the domain changes — a busy core's maintained eff moved, a
+// core flipped busy/idle, or a barrier refreshed the frozen proxies — so
+// a stale memo is never served. Epoch bumps are O(1); nothing is flooded.
+//
+// Determinism. The lazy values equal the eager fixpoint exactly (the BFS
+// computes the same shortest-path minimum the relaxation converges to),
+// so scheduling decisions, traces and results are byte-identical for a
+// fixed (seed, shards). EffVerify machine-checks this claim during a run,
+// and Kernel.Validate recomputes the eager fixpoint and compares every
+// fresh memo against it.
+//
+// Scheduling. The indexed scheduler splits the stalled cores by what
+// their horizons read. A stalled core with no idle same-domain neighbor
+// depends only on busy neighbors' maintained times (every change posts a
+// schedUpdate from lazyEffSite's O(degree) neighbor pass) and frozen
+// cross-shard proxies, so it keeps an exact cached key in the runq —
+// bit-for-bit the eager behavior, at the eager cost. Only the stalled
+// cores adjacent to an idle region — whose horizons read shadow times
+// that post no callbacks — move to a secondary per-domain heap ordered
+// by (vt, ID) (stallq); every pick evaluates those on demand, with two
+// memo layers (the per-epoch horizon memo and the sticky per-shape-epoch
+// runnable bit) keeping repeated evaluations O(1).
+// See docs/effective-time.md for the full design and cost model.
+
+// EffMode selects how idle-region effective times are evaluated.
+type EffMode int
+
+const (
+	// EffAuto (the default) evaluates idle regions lazily whenever the
+	// policy supports it (IdleRelayPolicy) and eagerly otherwise. The
+	// choice never affects results — only how fast the host reaches them.
+	EffAuto EffMode = iota
+	// EffEager forces the reference eager propagation (the per-completion
+	// BFS flood): the baseline for benchmarks and differential debugging.
+	EffEager
+	// EffLazy forces lazy evaluation; kernels whose policy does not
+	// support idle relaying fall back to eager propagation.
+	EffLazy
+	// EffVerify runs the eager propagation as the source of truth and
+	// cross-checks every lazily computed value against it, panicking on
+	// the first divergence — the differential oracle used by the
+	// equivalence test suite, mirroring SchedVerify.
+	EffVerify
+)
+
+// String names the mode.
+func (m EffMode) String() string {
+	switch m {
+	case EffEager:
+		return "eager"
+	case EffLazy:
+		return "lazy"
+	case EffVerify:
+		return "verify"
+	default:
+		return "auto"
+	}
+}
+
+// IdleRelayPolicy is implemented by policies whose IdleTime is exactly
+// the spatial relay rule "min over neighbor effective times, plus a
+// constant delta" (Inf when no neighbor advertises a finite time). Only
+// for such policies can an idle region's interior times be reconstructed
+// from its busy frontier by shortest-path arithmetic; policies that do
+// not implement the interface (or return ok=false) keep the eager
+// propagation. Of the bundled policies only the paper's Spatial
+// qualifies — the drift-comparison schemes all advertise Inf from idle
+// cores and never enter the relay machinery at all.
+type IdleRelayPolicy interface {
+	// IdleRelay returns the per-hop relay increment (Spatial.T) and
+	// whether lazy evaluation is admissible.
+	IdleRelay() (delta vtime.Time, ok bool)
+}
+
+// setupEff resolves Config.Eff against the policy's capabilities.
+func (k *Kernel) setupEff(mode EffMode) {
+	delta, ok := vtime.Time(0), false
+	if p, isRelay := k.policy.(IdleRelayPolicy); isRelay {
+		delta, ok = p.IdleRelay()
+	}
+	switch mode {
+	case EffEager:
+		ok = false
+	case EffVerify:
+		k.effVerify = ok
+		ok = false // eager stays authoritative; lazy runs as a shadow check
+	}
+	k.effLazy = ok
+	k.relayDelta = delta
+	if k.effLazy || k.effVerify {
+		k.buildLandmarks()
+	}
+}
+
+// effLandmarks is the number of landmark cores whose BFS hop-distance
+// tables back the triangle-inequality anchor bounds in lazyFix. Corners
+// of a mesh (which farthest-point sampling finds) make the bound exact
+// for Manhattan geometry; four cover the hierarchical chiplet fabrics
+// well. Purely a pruning aid — never affects results.
+const effLandmarks = 4
+
+// buildLandmarks precomputes hop distances from deterministically chosen
+// landmark cores (farthest-point sampling from core 0, ties to the lowest
+// ID) to every core. |dist_l(a) − dist_l(b)| lower-bounds the hop
+// distance between a and b for any landmark l, and hop distance in turn
+// lower-bounds the idle-restricted path length the relay rule telescopes
+// over — which is what lets the lazy BFS stop as soon as the best anchor
+// found beats every other anchor's provable minimum contribution.
+// O(landmarks · (cores + links)) once at construction; the tables are
+// derived state, rebuilt (not decoded) on restore.
+func (k *Kernel) buildLandmarks() {
+	n := len(k.cores)
+	if n == 0 {
+		return
+	}
+	k.lmDist = make([][]int32, 0, effLandmarks)
+	queue := make([]int32, 0, n)
+	next := 0
+	for len(k.lmDist) < effLandmarks {
+		dist := make([]int32, n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[next] = 0
+		queue = append(queue[:0], int32(next))
+		for head := 0; head < len(queue); head++ {
+			c := k.cores[queue[head]]
+			for _, nbID := range c.neighbors {
+				if dist[nbID] < 0 {
+					dist[nbID] = dist[c.ID] + 1
+					queue = append(queue, int32(nbID))
+				}
+			}
+		}
+		k.lmDist = append(k.lmDist, dist)
+		// Farthest reached core (lowest ID on ties) seeds the next
+		// landmark; on a mesh this walks the corners.
+		far, farDist := 0, int32(0)
+		for i, dv := range dist {
+			if dv > farDist {
+				far, farDist = i, dv
+			}
+		}
+		next = far
+	}
+}
+
+// satScale multiplies a non-negative per-hop delta by a hop count,
+// saturating at Inf.
+func satScale(delta vtime.Time, hops int) vtime.Time {
+	if delta > 0 && vtime.Time(hops) > vtime.Inf/delta {
+		return vtime.Inf
+	}
+	return delta * vtime.Time(hops)
+}
+
+// EffScheme names the active effective-time evaluation: "lazy", "eager"
+// or "eager+verify".
+func (k *Kernel) EffScheme() string {
+	switch {
+	case k.effVerify:
+		return "eager+verify"
+	case k.effLazy:
+		return "lazy"
+	default:
+		return "eager"
+	}
+}
+
+// satAdd adds a non-negative cost to a virtual time, saturating at Inf
+// (vtime.Inf is MaxInt64, so plain addition would wrap).
+func satAdd(t, cost vtime.Time) vtime.Time {
+	if t >= vtime.Inf-cost {
+		return vtime.Inf
+	}
+	return t + cost
+}
+
+// effInvalidate advances the domain's invalidation epoch, discarding
+// every idle-core memo at O(1) cost. Called whenever an anchor changed:
+// a busy core's maintained eff moved, a core flipped busy/idle, or the
+// frozen proxies were refreshed at a barrier.
+func (d *domain) effInvalidate() {
+	d.effEpoch++
+}
+
+// busyAdd registers c as a frontier anchor (it just turned busy).
+func (d *domain) busyAdd(c *Core) {
+	if c.busyPos >= 0 {
+		return
+	}
+	c.busyPos = len(d.busyList)
+	d.busyList = append(d.busyList, c)
+}
+
+// busyRemove unregisters c from the anchor list (it just turned idle).
+// If c's maintained eff defined the anchor floor, the floor is recomputed
+// exactly — a floor that is too low only slows the BFS cutoff, but this
+// keeps it tight on the workloads that matter (one task retiring after
+// another on the same few cores).
+func (d *domain) busyRemove(c *Core) {
+	if c.busyPos < 0 {
+		return
+	}
+	last := len(d.busyList) - 1
+	moved := d.busyList[last]
+	d.busyList[c.busyPos] = moved
+	moved.busyPos = c.busyPos
+	d.busyList[last] = nil
+	d.busyList = d.busyList[:last]
+	c.busyPos = -1
+	if c.eff <= d.effFloor {
+		d.recomputeFloor()
+	}
+}
+
+// recomputeFloor recomputes the exact anchor lower bound: the minimum
+// maintained eff over the domain's busy cores and the frozen-proxy floor
+// captured at the last barrier.
+func (d *domain) recomputeFloor() {
+	m := d.frozenFloor
+	for _, b := range d.busyList {
+		if b.eff < m {
+			m = b.eff
+		}
+	}
+	d.effFloor = m
+	d.floorAge = 0
+}
+
+// lazyEffSite is the lazy counterpart of the updateEff call sites in
+// domain.step: instead of flooding, it maintains the frontier anchors —
+// c's own advertised time, the busy list and the anchor floor —
+// invalidates the memos when an anchor actually changed, and notifies
+// the stalled same-domain neighbors whose horizons read c directly.
+// O(degree), never O(region): the neighbor pass is exactly the cheap,
+// non-flooding prefix of the eager updateEff, and it is what lets
+// stalled cores with no idle neighbor keep exact runq keys (schedUpdate)
+// instead of being re-evaluated at every pick.
+func (d *domain) lazyEffSite(c *Core) {
+	k := d.k
+	if !c.idle {
+		flipped := c.busyPos < 0
+		if flipped {
+			// Idle → busy: the core joins the frontier. Paths through it
+			// are cut, so memos computed against the old region shape are
+			// stale even when the advertised value happens to be unchanged
+			// (the old value may itself have been a stale memo) — and
+			// region horizons may move either way, so the shape epoch
+			// drops every sticky runnable bit too.
+			d.busyAdd(c)
+			d.effInvalidate()
+			d.shapeEpoch++
+		}
+		changed := c.eff != c.vt
+		if changed {
+			old := c.eff
+			c.eff = c.vt
+			d.effInvalidate()
+			if old <= d.effFloor && c.eff > d.effFloor {
+				// The floor-defining anchor moved up: the (now
+				// conservative) floor stays valid, but age it so it is
+				// re-tightened periodically instead of decaying forever.
+				d.floorAge++
+				if d.floorAge >= 16 && d.floorAge >= len(d.busyList) {
+					d.recomputeFloor()
+				}
+			}
+		}
+		// Outside the change branch so a re-busy core whose advertised
+		// value survived its idle spell still anchors the floor.
+		if c.eff < d.effFloor {
+			d.effFloor = c.eff
+			d.floorAge = 0
+		}
+		if flipped || changed {
+			for _, nbID := range c.neighbors {
+				nb := k.cores[nbID]
+				if nb.dom != d {
+					continue
+				}
+				if flipped {
+					nb.idleNb--
+				}
+				if nb.current != nil {
+					d.schedUpdate(nb)
+				}
+			}
+		}
+		return
+	}
+	// Busy → idle: the core stops being an anchor; its slot in the memo
+	// space is stale until the next lazy read recomputes it. Stalled
+	// neighbors gain an idle neighbor and are re-routed to the stall heap.
+	if c.busyPos >= 0 {
+		d.busyRemove(c)
+		c.effStamp = 0
+		d.effInvalidate()
+		d.shapeEpoch++
+		for _, nbID := range c.neighbors {
+			nb := k.cores[nbID]
+			if nb.dom != d {
+				continue
+			}
+			nb.idleNb++
+			if nb.current != nil {
+				d.schedUpdate(nb)
+			}
+		}
+	}
+}
+
+// effSite dispatches the two effective-time maintenance sites in
+// domain.step to the active evaluation scheme: the eager flood, the O(1)
+// lazy bookkeeping, or — under EffVerify — the flood plus the shadow
+// bookkeeping the differential checks need (busy list and anchor floor;
+// the flood itself owns Core.eff).
+func (d *domain) effSite(c *Core) {
+	if d.k.effLazy {
+		d.lazyEffSite(c)
+		return
+	}
+	d.updateEff(c)
+	if d.k.effVerify {
+		if !c.idle {
+			if c.busyPos < 0 {
+				d.busyAdd(c)
+			}
+			if c.eff < d.effFloor {
+				d.effFloor = c.eff
+				d.floorAge = 0
+			}
+		} else if c.busyPos >= 0 {
+			d.busyRemove(c)
+		}
+	}
+}
+
+// lazyEff returns c's effective time under lazy evaluation: the core's
+// maintained value while busy, the memoized (or freshly computed)
+// region fixpoint while idle. Matches the eager fixpoint exactly,
+// including the busy==0 convention: with no local anchor, idle-only
+// relay chains have no fixpoint and everyone advertises Inf.
+func (d *domain) lazyEff(c *Core) vtime.Time {
+	if !c.idle {
+		return c.eff
+	}
+	if d.busy == 0 {
+		return vtime.Inf
+	}
+	if c.effStamp == d.effEpoch {
+		return c.eff
+	}
+	e := d.lazyFix(c)
+	if !d.k.effVerify {
+		// In verify mode the eager flood owns Core.eff; the lazy shadow
+		// computation must not overwrite it.
+		c.eff = e
+		c.effStamp = d.effEpoch
+	}
+	return e
+}
+
+// lazyFix computes the region fixpoint value for idle core c: a
+// ring-layered BFS over the local idle cores around c, minimizing
+// anchor + delta·(hops+1) over all frontier anchors (local busy cores
+// and finite frozen cross-shard proxies). The ring index equals the hop
+// count, so once best ≤ floor + delta·(ring+1) no farther anchor can
+// improve the result and the search stops.
+func (d *domain) lazyFix(c *Core) vtime.Time {
+	k := d.k
+	delta := k.relayDelta
+	d.effGen++
+	gen := d.effGen
+	// The scratch ring buffer is domain-owned and reused across calls;
+	// a cursor per ring keeps layers contiguous.
+	q := d.effScratch[:0]
+	q = append(q, c.ID)
+	c.effSeen = gen
+	best := vtime.Inf
+	ringStart, ringEnd := 0, 1
+	for depth := 0; ringStart < ringEnd; depth++ {
+		cost := satScale(delta, depth+1)
+		if satAdd(d.effFloor, cost) >= best {
+			break
+		}
+		if best < vtime.Inf && !d.anchorCanImprove(c, depth, best) {
+			break
+		}
+		for i := ringStart; i < ringEnd; i++ {
+			cc := k.cores[q[i]]
+			for j, nbID := range cc.neighbors {
+				nb := k.cores[nbID]
+				if nb.dom != d {
+					// Cross-shard frontier: the frozen proxy cc holds for
+					// nb is an anchor at this depth.
+					if p := cc.nbEff[j]; p != vtime.Inf {
+						if v := satAdd(p, cost); v < best {
+							best = v
+						}
+					}
+					continue
+				}
+				if !nb.idle {
+					// Local busy frontier: anchor at the maintained eff
+					// (the value as of the core's last step boundary, the
+					// same one the eager flood reads — not the live clock).
+					if v := satAdd(nb.eff, cost); v < best {
+						best = v
+					}
+					continue
+				}
+				if nb.effSeen != gen {
+					nb.effSeen = gen
+					q = append(q, nbID)
+				}
+			}
+		}
+		ringStart, ringEnd = ringEnd, len(q)
+	}
+	d.effScratch = q[:0]
+	return best
+}
+
+// anchorCanImprove reports whether any frontier anchor could still beat
+// best when the BFS is about to scan ring `depth`. Every anchor not yet
+// credited sits at least depth+1 relay hops out — and at least its
+// landmark distance bound (|dist_l(c) − dist_l(a)|, a hop-count lower
+// bound by the triangle inequality, and idle-restricted paths are never
+// shorter than unrestricted ones) — so its contribution is at least
+// a.eff + max(bound, depth+1)·delta. Frozen cross-shard proxies are
+// bounded by the barrier-exact frozenFloor at depth+1 hops. The
+// per-anchor terms of anchors already credited to best understate their
+// real contribution, which only makes the answer conservatively true —
+// the cutoff can never prune a better anchor, so lazyFix stays exact.
+//
+// The aggregate floor cutoff in lazyFix already handled the cheap case;
+// this O(frontier) scan is what keeps the BFS radius independent of how
+// far the *globally* slowest anchor has drifted: a distant lagging task
+// prunes here by distance even though it drags effFloor far below best.
+func (d *domain) anchorCanImprove(c *Core, depth int, best vtime.Time) bool {
+	delta := d.k.relayDelta
+	cost := satScale(delta, depth+1)
+	if satAdd(d.frozenFloor, cost) < best {
+		return true
+	}
+	lm := d.k.lmDist
+	ci := c.ID
+	for _, a := range d.busyList {
+		hops := depth + 1
+		for _, dist := range lm {
+			dc, da := dist[ci], dist[a.ID]
+			if dc < 0 || da < 0 {
+				continue // disconnected from this landmark: no bound
+			}
+			diff := int(dc - da)
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > hops {
+				hops = diff
+			}
+		}
+		if satAdd(a.eff, satScale(delta, hops)) < best {
+			return true
+		}
+	}
+	return false
+}
+
+// lazyMinNeighborEff is the lazy counterpart of Core.minNeighborEff: the
+// minimum over c's neighbors of their effective times, pulling idle local
+// neighbors through the region fixpoint and reading frozen proxies for
+// foreign ones. It is the value the eager proxies would hold at fixpoint.
+func (d *domain) lazyMinNeighborEff(c *Core) vtime.Time {
+	k := d.k
+	m := vtime.Inf
+	for j, nbID := range c.neighbors {
+		nb := k.cores[nbID]
+		var e vtime.Time
+		if nb.dom != d {
+			e = c.nbEff[j] // frozen between barriers, same as eager
+		} else if !nb.idle {
+			e = nb.eff
+		} else {
+			e = d.lazyEff(nb)
+		}
+		if e < m {
+			m = e
+		}
+	}
+	return m
+}
+
+// verifyEff cross-checks the lazy computation against the eager state
+// (EffVerify): for stalled core c, the lazily reconstructed neighborhood
+// minimum must equal the one the authoritative eager proxies hold.
+// Divergence is a kernel bug, never a workload error.
+func (d *domain) verifyEff(c *Core) {
+	if d.inProp || d.k.inRefresh {
+		// Mid-flood the eager state is not yet at fixpoint; the lazy
+		// reconstruction is only comparable at settled points.
+		return
+	}
+	lazy := d.lazyMinNeighborEff(c)
+	eager := c.minNeighborEff()
+	if lazy != eager {
+		panic(fmt.Sprintf(
+			"core: effective-time divergence at core %d (domain %d): lazy neighborhood min %v, eager %v",
+			c.ID, d.id, lazy, eager))
+	}
+}
+
+// stallq is a domain's secondary scheduling heap under lazy evaluation:
+// the stalled cores with at least one idle same-domain neighbor
+// (current != nil && idleNb > 0), ordered by (vt, ID). Their runnable
+// keys — when runnable at all — equal their clocks, but runnability
+// itself depends on lazily evaluated horizons, so membership here means
+// "idle-adjacent stalled", not "runnable"; pickCore evaluates the
+// horizons of the members with vt ≤ limit on demand. Clocks are frozen
+// while stalled, so the heap never needs re-keying between insert and
+// remove.
+type stallq struct {
+	heap []*Core
+}
+
+func stallLess(a, b *Core) bool {
+	if a.vt != b.vt {
+		return a.vt < b.vt
+	}
+	return a.ID < b.ID
+}
+
+func (q *stallq) swap(i, j int) {
+	h := q.heap
+	h[i], h[j] = h[j], h[i]
+	h[i].stallPos = i
+	h[j].stallPos = j
+}
+
+func (q *stallq) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !stallLess(q.heap[i], q.heap[p]) {
+			return
+		}
+		q.swap(i, p)
+		i = p
+	}
+}
+
+func (q *stallq) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && stallLess(q.heap[l], q.heap[s]) {
+			s = l
+		}
+		if r < n && stallLess(q.heap[r], q.heap[s]) {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		q.swap(i, s)
+		i = s
+	}
+}
+
+func (q *stallq) insert(c *Core) {
+	c.stallPos = len(q.heap)
+	q.heap = append(q.heap, c)
+	q.up(c.stallPos)
+}
+
+func (q *stallq) remove(c *Core) {
+	i := c.stallPos
+	last := len(q.heap) - 1
+	if i != last {
+		q.swap(i, last)
+	}
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	c.stallPos = -1
+	if i != last {
+		q.down(i)
+		q.up(i)
+	}
+}
+
+// update maintains c's membership: stalled cores in, everyone else out.
+// A stalled core whose clock moved (resume + re-stall within one step)
+// is repositioned by remove/insert at the post-step update.
+func (q *stallq) update(c *Core) {
+	stalled := c.current != nil
+	switch {
+	case stalled && c.stallPos < 0:
+		q.insert(c)
+	case !stalled && c.stallPos >= 0:
+		q.remove(c)
+	case stalled:
+		q.down(c.stallPos)
+		q.up(c.stallPos)
+	}
+}
+
+// stallBest finds the best runnable stalled core with vt ≤ limit — the
+// minimal (vt, ID) member whose lazily evaluated horizon has reached its
+// clock — plus the count of runnable stalled cores within the limit (the
+// §VIII sample share the runq cannot see). The walk visits only the heap
+// subtrees whose root clock qualifies. A member found runnable records a
+// sticky bit valid for the current shape epoch: anchor values are
+// monotone between busy/idle flips, so its horizon can only keep rising
+// above its frozen clock — the expensive region evaluation runs once,
+// not once per pick (any input that could lower the horizon — the
+// core's own clock, births, locks, a flip anywhere in the domain —
+// clears the bit via schedUpdate or the epoch).
+func (d *domain) stallBest(limit vtime.Time) (best *Core, count int) {
+	q := d.sq
+	if q == nil || len(q.heap) == 0 {
+		return nil, 0
+	}
+	var walk func(i int)
+	walk = func(i int) {
+		if i >= len(q.heap) {
+			return
+		}
+		c := q.heap[i]
+		if c.vt > limit {
+			return
+		}
+		if c != d.stepping {
+			runnable := c.rnStamp == d.shapeEpoch
+			if !runnable && c.vt <= d.stallHorizon(c) {
+				runnable = true
+				c.rnStamp = d.shapeEpoch
+			}
+			if runnable {
+				count++
+				if best == nil || stallLess(c, best) {
+					best = c
+				}
+			}
+		}
+		walk(2*i + 1)
+		walk(2*i + 2)
+	}
+	walk(0)
+	return best, count
+}
+
+// stallHorizon serves a stalled core's policy horizon through a memo
+// valid for the current effective-time epoch. The horizon's inputs are
+// the neighbor effective times (epoch-stable by definition) and the
+// non-eff runnability inputs — clock, births, locks — whose every
+// mutation site posts schedUpdate (the invalidation catalogue in
+// docs/scheduler.md), which clears the memo. Without this, a dense
+// machine re-derives hundreds of identical horizons per pick.
+func (d *domain) stallHorizon(c *Core) vtime.Time {
+	if c.hzStamp == d.effEpoch {
+		return c.hzKey
+	}
+	h := d.k.policy.Horizon(c)
+	c.hzKey = h
+	c.hzStamp = d.effEpoch
+	return h
+}
+
+// pickLazy is pickCore's indexed decision under lazy evaluation: the
+// best of the runq head (non-stalled runnables, exact cached keys) and
+// the best runnable stalled core, with the scan's (key, ID) preference,
+// plus the combined §VIII runnable count.
+func (d *domain) pickLazy(limit vtime.Time) (best *Core, key vtime.Time, count int) {
+	rqBest, rqCount := d.rq.pick(limit)
+	sBest, sCount := d.stallBest(limit)
+	count = rqCount + sCount
+	switch {
+	case rqBest == nil:
+		best = sBest
+	case sBest == nil:
+		best = rqBest
+	default:
+		// A stalled core's runnable key is its clock.
+		if sBest.vt < rqBest.schedKey || (sBest.vt == rqBest.schedKey && sBest.ID < rqBest.ID) {
+			best = sBest
+		} else {
+			best = rqBest
+		}
+	}
+	if best == nil {
+		return nil, 0, count
+	}
+	if best == sBest && best != rqBest {
+		return best, best.vt, count
+	}
+	return best, best.schedKey, count
+}
+
+// resetLazyIdle rebuilds the lazy bookkeeping for the all-idle machine
+// (the busy == 0 branch of refreshEff, reached at barriers and on
+// restore): no anchors, infinite floors, every memo discarded.
+func (d *domain) resetLazyIdle() {
+	clear(d.busyList)
+	d.busyList = d.busyList[:0]
+	d.effFloor = vtime.Inf
+	d.frozenFloor = vtime.Inf
+	d.floorAge = 0
+	d.effInvalidate()
+	d.shapeEpoch++
+	for _, c := range d.cores {
+		c.busyPos = -1
+	}
+}
+
+// rebuildLazyFromRefresh rebuilds the domain's lazy bookkeeping after the
+// barrier-time global relaxation (refreshEff) has left every Core.eff at
+// the global fixpoint: the busy list and exact floors are recomputed, and
+// — in pure lazy mode — every idle core's memo is seeded from its
+// already-correct eff (the global fixpoint restricted to a domain equals
+// the domain-local fixpoint anchored at the freshly frozen proxies).
+// EffVerify deliberately skips the memo seeding so its differential reads
+// keep exercising the BFS instead of comparing the eager state to itself.
+func (d *domain) rebuildLazyFromRefresh() {
+	k := d.k
+	clear(d.busyList)
+	d.busyList = d.busyList[:0]
+	d.effInvalidate()
+	// Refreshed frozen proxies can move horizons either way: drop the
+	// sticky runnable bits along with the value memos.
+	d.shapeEpoch++
+	frozen := vtime.Inf
+	for _, c := range d.cores {
+		if c.idle {
+			c.busyPos = -1
+			if !k.effVerify {
+				c.effStamp = d.effEpoch
+			}
+		} else {
+			c.busyPos = len(d.busyList)
+			d.busyList = append(d.busyList, c)
+		}
+		for j, nbID := range c.neighbors {
+			if k.cores[nbID].dom != d && c.nbEff[j] < frozen {
+				frozen = c.nbEff[j]
+			}
+		}
+	}
+	d.frozenFloor = frozen
+	d.recomputeFloor()
+}
+
+// rebuildStallq reseats the domain's idle-adjacent stalled cores in the
+// secondary heap (lazy mode only); the counterpart of runq.rebuild for
+// the stalled set. Stalled cores with no idle same-domain neighbor stay
+// in the runq: every input of their horizons posts an invalidation
+// (lazyEffSite's neighbor pass, the barrier rebuild, schedUpdate), so
+// their cached keys are exact, same as under eager propagation.
+func (d *domain) rebuildStallq() {
+	q := d.sq
+	q.heap = q.heap[:0]
+	for _, c := range d.cores {
+		c.stallPos = -1
+	}
+	for _, c := range d.cores {
+		if c.current != nil && c.idleNb > 0 {
+			c.stallPos = len(q.heap)
+			q.heap = append(q.heap, c)
+		}
+	}
+	for i := len(q.heap)/2 - 1; i >= 0; i-- {
+		q.down(i)
+	}
+}
+
+// rebuildIdleNb recounts every owned core's idle same-domain neighbors —
+// the predicate routing stalled cores between the runq and the stall
+// heap. Maintained incrementally by lazyEffSite's flip branches while
+// running; recomputed here before the scheduling structures are rebuilt
+// (engine start, restore).
+func (d *domain) rebuildIdleNb() {
+	k := d.k
+	for _, c := range d.cores {
+		n := int32(0)
+		for _, nbID := range c.neighbors {
+			nb := k.cores[nbID]
+			if nb.dom == d && nb.idle {
+				n++
+			}
+		}
+		c.idleNb = n
+	}
+}
+
+// indexedHead returns the minimal runnable (key, core) the indexed
+// structures can see under an infinite limit — the per-domain input to
+// the sharded round setup. Under lazy evaluation this folds the stalled
+// heap in; otherwise it is the plain runq head.
+func (d *domain) indexedHead() (*Core, vtime.Time) {
+	if d.k.effLazy {
+		c, key, _ := d.pickLazy(vtime.Inf)
+		if c == nil {
+			return nil, vtime.Inf
+		}
+		return c, key
+	}
+	head := d.rq.peek()
+	if head == nil {
+		return nil, vtime.Inf
+	}
+	return head, head.schedKey
+}

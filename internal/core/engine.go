@@ -52,6 +52,31 @@ type domain struct {
 	runnableMax     int
 
 	propQueue []int //simany:derived reusable scratch for shadow-time propagation, empty between uses
+	inProp    bool  //simany:derived transient mid-flood marker for the EffVerify gate, false between floods
+
+	// Lazy effective-time state (efflazy.go): the busy frontier anchors,
+	// the memo-invalidation epoch, the exact/conservative anchor floors
+	// and the stalled-core scheduling heap active under lazy evaluation.
+	busyList []*Core //simany:derived frontier anchor list, rebuilt from idle flags at barriers/after decode
+	sq       *stallq //simany:derived stalled-core heap, rebuilt by schedRebuild after decode
+	effEpoch uint64  //simany:derived memo invalidation epoch, bumping it after decode discards all memos
+	// shapeEpoch advances only when the anchor *set* changes (a busy/idle
+	// flip, a barrier refresh) — never on pure value moves, which are
+	// monotone. A stalled core's sticky runnable bit (Core.rnStamp) is
+	// valid per shape epoch: within one, horizons can only rise, so a core
+	// once observed runnable stays runnable until its own inputs change.
+	shapeEpoch uint64 //simany:derived sticky-runnable invalidation epoch, bumped after decode like effEpoch
+	effGen     uint64 //simany:derived lazyFix BFS visited generation, transient per query
+	//simany:derived anchor lower bound for the BFS cutoff, recomputed at barriers/after decode
+	effFloor vtime.Time
+	//simany:derived lower bound over frozen cross-shard proxies, recomputed at barriers/after decode
+	frozenFloor vtime.Time
+	floorAge    int   //simany:derived staleness counter for the conservative floor, reset on recompute
+	effScratch  []int //simany:derived reusable BFS ring buffer, empty between uses
+	// allIdleInf records that every owned core (and its local mirrors)
+	// already advertises Inf, so the eager busy==0 broadcast can return
+	// without rescanning the domain.
+	allIdleInf bool //simany:derived recomputed by refreshEff; true after decode of an all-idle machine
 
 	// Sharded-engine state: cross-shard traffic deferred to the next
 	// barrier, and the step count of the current round.
@@ -118,6 +143,12 @@ func (d *domain) enqueueOp(src int, stamp vtime.Time, fn func()) {
 func (d *domain) runnable(c *Core) (vtime.Time, bool) {
 	k := d.k
 	if c.current != nil {
+		if k.effVerify {
+			// The differential oracle: every settled look at a stalled
+			// core's horizon cross-checks the lazy reconstruction of its
+			// neighborhood against the authoritative eager proxies.
+			d.verifyEff(c)
+		}
 		// Stalled mid-task: runnable when the horizon has moved past the
 		// core's clock.
 		if c.vt <= k.policy.Horizon(c) {
@@ -178,16 +209,24 @@ func (d *domain) pickCore(limit vtime.Time) *Core {
 	var best *Core
 	var key vtime.Time
 	var runnable int
-	if d.rq != nil {
+	switch {
+	case d.rq == nil:
+		best, key, runnable = d.scanRunnable(limit)
+	case d.k.effLazy:
+		// Lazy evaluation: stalled cores live in the secondary heap and
+		// their horizons are evaluated on demand (efflazy.go).
+		best, key, runnable = d.pickLazy(limit)
+		if d.k.schedVerify {
+			d.verifyPick(limit, best, key, runnable)
+		}
+	default:
 		best, runnable = d.rq.pick(limit)
 		if best != nil {
 			key = best.schedKey
 		}
 		if d.k.schedVerify {
-			d.verifyPick(limit, best, runnable)
+			d.verifyPick(limit, best, key, runnable)
 		}
-	} else {
-		best, key, runnable = d.scanRunnable(limit)
 	}
 	if best != nil {
 		d.runnableSamples++
@@ -209,8 +248,14 @@ func (d *domain) step(c *Core) {
 	d.stepsTotal++
 	// While the step runs, c's clock, queues and current task are in
 	// flux; its index entry is settled by the schedUpdate at the end,
-	// before the domain consults the queue again.
+	// before the domain consults the queue again. The runq tolerates the
+	// transient (it orders by the cached schedKey), but the stall heap
+	// orders by the live clock, so c leaves it for the duration: mid-step
+	// sifts of other cores must never compare against a moving key.
 	d.stepping = c
+	if d.sq != nil && c.stallPos >= 0 {
+		d.sq.remove(c)
+	}
 	t := c.current
 	switch {
 	case t != nil:
@@ -240,7 +285,7 @@ func (d *domain) step(c *Core) {
 		c.idle = false
 		d.busy++
 	}
-	d.updateEff(c)
+	d.effSite(c)
 
 	// Hand control to the task's worker goroutine until it yields.
 	t.env.horizon = k.horizonFor(c)
@@ -276,7 +321,7 @@ func (d *domain) step(c *Core) {
 		c.idle = true
 		d.busy--
 	}
-	d.updateEff(c)
+	d.effSite(c)
 	d.stepping = nil
 	d.schedUpdate(c)
 }
@@ -331,6 +376,14 @@ func (d *domain) updateEff(c *Core) {
 		// runnable-index invalidation is needed here: with every owned
 		// core idle there are no stalled cores, and an idle core's
 		// runnable key never depends on effective times.
+		if d.allIdleInf {
+			// The broadcast already ran (or the machine never woke this
+			// domain): every owned core and its local mirrors advertise
+			// Inf, so rescanning them would be a pure no-op. This keeps
+			// repeated all-idle calls O(1) instead of O(owned cores).
+			return
+		}
+		d.allIdleInf = true
 		for _, cc := range d.cores {
 			if cc.eff != vtime.Inf {
 				cc.eff = vtime.Inf
@@ -350,6 +403,8 @@ func (d *domain) updateEff(c *Core) {
 		}
 		return
 	}
+	d.allIdleInf = false
+	d.inProp = true
 	// The worklist is domain scratch drained through a cursor, so the
 	// backing array is reused across calls instead of creeping forward.
 	d.propQueue = append(d.propQueue[:0], c.ID)
@@ -390,4 +445,5 @@ func (d *domain) updateEff(c *Core) {
 			}
 		}
 	}
+	d.inProp = false
 }

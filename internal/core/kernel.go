@@ -126,6 +126,16 @@ type Config struct {
 	// divergence. The choice never affects results — pick order, traces
 	// and statistics are bit-for-bit identical either way (docs/scheduler.md).
 	Sched SchedMode
+
+	// Eff selects how idle-region effective times are evaluated (see
+	// EffMode): the default EffAuto computes idle shadow times lazily
+	// from the busy frontier whenever the policy supports it
+	// (IdleRelayPolicy), EffEager forces the reference per-completion
+	// propagation flood, and EffVerify runs the flood and cross-checks
+	// every lazy computation against it. Like Sched, the choice never
+	// affects results and is excluded from the checkpoint fingerprint
+	// (docs/effective-time.md).
+	Eff EffMode
 }
 
 // DefaultT is the paper's reference maximum local drift (100 cycles).
@@ -173,6 +183,17 @@ type Kernel struct {
 	schedIndexed bool //simany:derived scheduler-mode configuration, reinstated by New
 	schedVerify  bool //simany:derived scheduler-mode configuration, reinstated by New
 	onPick       func(c *Core, key vtime.Time)
+
+	// Effective-time evaluation (efflazy.go): effLazy arms the lazy
+	// idle-region machinery, effVerify runs the eager flood as the source
+	// of truth and cross-checks every lazy computation against it, and
+	// relayDelta caches the policy's per-hop relay increment. inRefresh
+	// gates the verify hook while the barrier relaxation is mid-flight.
+	effLazy    bool       //simany:derived eff-mode configuration, reinstated by New
+	effVerify  bool       //simany:derived eff-mode configuration, reinstated by New
+	relayDelta vtime.Time //simany:derived policy-derived configuration, reinstated by New
+	inRefresh  bool       //simany:derived transient: checkpoints only happen outside refreshEff
+	lmDist     [][]int32  //simany:derived landmark hop-distance tables, rebuilt by setupEff from the topology
 
 	// Barrier scratch buffers, reused across rounds: the merged deferred
 	// items drained at each barrier and the worklist of the global
@@ -395,6 +416,8 @@ func New(cfg Config) *Kernel {
 			readyMin:   vtime.Inf,
 			contsMin:   vtime.Inf,
 			schedPos:   -1,
+			busyPos:    -1,
+			stallPos:   -1,
 			rng:        *rng.New(splitmix64(uint64(cfg.Seed) ^ uint64(i))),
 		}
 		deg := len(c.neighbors)
@@ -454,6 +477,14 @@ func (k *Kernel) setupEngine(cfg Config) {
 			yieldCh: make(chan yieldInfo),
 			blocked: make(map[uint64]*Task),
 			limit:   vtime.Inf,
+			// Lazy effective-time bookkeeping starts at the all-idle
+			// machine: no anchors, infinite floors, epoch 1 so the zero
+			// memo stamps are stale (efflazy.go).
+			effEpoch:    1,
+			shapeEpoch:  1,
+			effFloor:    vtime.Inf,
+			frozenFloor: vtime.Inf,
+			allIdleInf:  true,
 		}
 	}
 	for i, c := range k.cores {
@@ -461,7 +492,15 @@ func (k *Kernel) setupEngine(cfg Config) {
 		c.dom = d
 		d.cores = append(d.cores, c)
 	}
+	k.setupEff(cfg.Eff)
 	k.setupScheduler(cfg.Sched)
+	if k.effLazy {
+		// Valid idle-neighbor counts from the start: Validate may run on a
+		// kernel that has never entered an engine loop.
+		for _, d := range k.domains {
+			d.rebuildIdleNb()
+		}
+	}
 	if k.sharded {
 		k.buildPairLocal()
 	}
@@ -489,6 +528,12 @@ func (k *Kernel) setupScheduler(mode SchedMode) {
 	}
 	for _, d := range k.domains {
 		d.rq = newRunq(d)
+		if k.effLazy {
+			// Lazy effective times leave stalled cores' horizons without
+			// invalidation callbacks; they are indexed in a secondary
+			// (vt, ID) heap and evaluated on demand (efflazy.go).
+			d.sq = &stallq{}
+		}
 	}
 }
 
@@ -497,8 +542,16 @@ func (k *Kernel) setupScheduler(mode SchedMode) {
 // after that is incremental.
 func (k *Kernel) schedRebuild() {
 	for _, d := range k.domains {
+		if k.effLazy {
+			// The idle-neighbor counts route stalled cores between the
+			// two heaps, so they must be exact before either rebuild.
+			d.rebuildIdleNb()
+		}
 		if d.rq != nil {
 			d.rq.rebuild()
+			if k.effLazy {
+				d.rebuildStallq()
+			}
 		}
 	}
 }
@@ -1042,7 +1095,7 @@ func (k *Kernel) deadlockError() error {
 			cur = c.current.Name
 		}
 		fmt.Fprintf(&b, "\n  core%d shard%d vt=%v eff=%v horizon=%v cur=%s ready=%d conts=%d locks=%d minBirth=%v",
-			c.ID, k.part[c.ID], c.vt, c.eff, k.policy.Horizon(c), cur, len(c.ready), len(c.conts), c.lockDepth, c.minBirth())
+			c.ID, k.part[c.ID], c.vt, c.Eff(), k.policy.Horizon(c), cur, len(c.ready), len(c.conts), c.lockDepth, c.minBirth())
 	}
 	return fmt.Errorf("%s", b.String())
 }

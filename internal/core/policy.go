@@ -56,6 +56,13 @@ func (s Spatial) ShardLocal() bool { return true }
 // so it may be cached between those events.
 func (s Spatial) HorizonCacheable() bool { return true }
 
+// IdleRelay implements IdleRelayPolicy: the spatial IdleTime is exactly
+// the relay rule "min neighbor effective time plus T", so idle-region
+// interiors can be reconstructed lazily from the busy frontier
+// (efflazy.go). A non-positive T would defeat the BFS distance cutoff,
+// so it keeps the eager propagation.
+func (s Spatial) IdleRelay() (vtime.Time, bool) { return s.T, s.T > 0 }
+
 // Horizon implements Policy.
 func (s Spatial) Horizon(c *Core) vtime.Time {
 	if c.lockDepth > 0 {

@@ -100,19 +100,19 @@ func (k *Kernel) minRunnableKey() vtime.Time {
 			}
 			continue
 		}
-		head := d.rq.peek()
+		head, hKey := d.indexedHead()
 		if k.schedVerify {
 			sBest, sKey, _ := d.scanRunnable(vtime.Inf)
 			switch {
 			case (head == nil) != (sBest == nil):
 				panic(fmt.Sprintf("core: scheduler divergence in domain %d round setup: index head %v, scan head %v", d.id, head, sBest))
-			case head != nil && (head != sBest || head.schedKey != sKey):
+			case head != nil && (head != sBest || hKey != sKey):
 				panic(fmt.Sprintf("core: scheduler divergence in domain %d round setup: index head core %d key %v, scan head core %d key %v",
-					d.id, head.ID, head.schedKey, sBest.ID, sKey))
+					d.id, head.ID, hKey, sBest.ID, sKey))
 			}
 		}
-		if head != nil && head.schedKey < minKey {
-			minKey = head.schedKey
+		if head != nil && hKey < minKey {
+			minKey = hKey
 		}
 	}
 	return minKey
@@ -230,7 +230,16 @@ func (k *Kernel) drainBarrier() {
 // idle cores relax downward from Inf through the policy's shadow-time rule
 // until the (unique) fixpoint. Running it single-threaded at each barrier
 // restores the cross-shard proxies that stayed frozen during the round.
+//
+// Lazy evaluation (efflazy.go) runs the same global relaxation — the
+// frozen proxies a round reads must hold the barrier fixpoint either way
+// — but inlines the relay rule instead of calling the policy (whose
+// IdleTime routes through the lazy reads, meaningless mid-relaxation) and
+// afterwards rebuilds the per-domain lazy bookkeeping, seeding every idle
+// memo from the freshly computed fixpoint.
 func (k *Kernel) refreshEff() {
+	k.inRefresh = true
+	defer func() { k.inRefresh = false }()
 	busy := 0
 	for _, d := range k.domains {
 		busy += d.busy
@@ -242,6 +251,12 @@ func (k *Kernel) refreshEff() {
 				c.nbEff[j] = vtime.Inf
 			}
 		}
+		for _, d := range k.domains {
+			d.allIdleInf = true
+			if k.effLazy || k.effVerify {
+				d.resetLazyIdle()
+			}
+		}
 		return
 	}
 	for _, c := range k.cores {
@@ -250,6 +265,9 @@ func (k *Kernel) refreshEff() {
 		} else {
 			c.eff = c.vt
 		}
+	}
+	for _, d := range k.domains {
+		d.allIdleInf = false
 	}
 	for _, c := range k.cores {
 		changed := false
@@ -278,7 +296,20 @@ func (k *Kernel) refreshEff() {
 	}
 	for head := 0; head < len(queue); head++ {
 		c := k.cores[queue[head]]
-		e := k.policy.IdleTime(c)
+		var e vtime.Time
+		if k.effLazy {
+			// The inlined relay rule over the raw proxies (the lazy-mode
+			// gate guarantees IdleTime is exactly this computation).
+			m := vtime.Inf
+			for _, t := range c.nbEff {
+				if t < m {
+					m = t
+				}
+			}
+			e = satAdd(m, k.relayDelta)
+		} else {
+			e = k.policy.IdleTime(c)
+		}
 		if e >= c.eff {
 			continue
 		}
@@ -300,4 +331,9 @@ func (k *Kernel) refreshEff() {
 		}
 	}
 	k.effQueue = queue[:0]
+	if k.effLazy || k.effVerify {
+		for _, d := range k.domains {
+			d.rebuildLazyFromRefresh()
+		}
+	}
 }

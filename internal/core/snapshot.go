@@ -199,9 +199,13 @@ func (d *domain) snapshot(enc *snap.Encoder) bool {
 }
 
 // snapshot appends one core's state. Derivable state — eff, nbEff, the
-// sched heap position, the lazy queue-minimum caches — is deliberately
-// excluded: restore rebuilds it (refreshEff, schedRebuild, lazy
-// recompute) and Kernel.Validate re-verifies it.
+// sched heap position, the lazy queue-minimum caches, and the whole lazy
+// effective-time apparatus (memo stamps, busy-frontier list, stall heap,
+// pruning floors; efflazy.go) — is deliberately excluded: restore rebuilds
+// it (refreshEff, schedRebuild, lazy recompute) and Kernel.Validate
+// re-verifies it. That also keeps checkpoints byte-identical across Eff
+// modes, which is what lets a run restored under a different mode produce
+// the same results.
 func (c *Core) snapshot(enc *snap.Encoder) bool {
 	decodeOK := true
 	enc.Time(c.vt)

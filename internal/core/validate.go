@@ -12,7 +12,14 @@ import (
 // ValidatingTracer) to check consistency continuously during a run.
 //
 // Checked invariants:
-//   - every neighbor-proxy entry mirrors the neighbor's advertised time;
+//   - every neighbor-proxy entry mirrors the neighbor's advertised time
+//     (eager mode only — lazy mode replaces this with the region checks
+//     below);
+//   - with lazy effective times active: the busy-frontier list partitions
+//     each domain's cores against their idle flags, the pruning floor
+//     lower-bounds every anchor (busy cores and frozen foreign proxies),
+//     and every fresh idle memo equals an independently recomputed eager
+//     fixpoint;
 //   - a busy core never advertises a time ahead of its own clock;
 //   - the cached minimum birth stamp matches the birth map;
 //   - the cached queue minima (ready arrivals, continuation resumes)
@@ -37,16 +44,21 @@ func (k *Kernel) Validate() error {
 				return fmt.Errorf("core %d: busy but advertises future time %v (clock %v)", c.ID, c.eff, c.vt)
 			}
 		}
-		for j, nbID := range c.neighbors {
-			nb := k.cores[nbID]
-			// Cross-shard proxies are intentionally frozen between
-			// barriers, so only same-shard mirrors are exact at all times.
-			if nb.dom != c.dom {
-				continue
-			}
-			if c.nbEff[j] != nb.eff {
-				return fmt.Errorf("core %d: proxy for neighbor %d is %v, neighbor advertises %v",
-					c.ID, nbID, c.nbEff[j], nb.eff)
+		if !k.effLazy {
+			for j, nbID := range c.neighbors {
+				nb := k.cores[nbID]
+				// Cross-shard proxies are intentionally frozen between
+				// barriers, so only same-shard mirrors are exact at all
+				// times. Under lazy evaluation no proxy is maintained
+				// between barriers at all (the lazy fixpoint check below
+				// replaces this invariant).
+				if nb.dom != c.dom {
+					continue
+				}
+				if c.nbEff[j] != nb.eff {
+					return fmt.Errorf("core %d: proxy for neighbor %d is %v, neighbor advertises %v",
+						c.ID, nbID, c.nbEff[j], nb.eff)
+				}
 			}
 		}
 		if c.lockDepth < 0 {
@@ -100,6 +112,11 @@ func (k *Kernel) Validate() error {
 	if busy != tracked {
 		return fmt.Errorf("busy-core counter %d, actual %d", tracked, busy)
 	}
+	if k.effLazy {
+		if err := k.checkLazyEff(); err != nil {
+			return err
+		}
+	}
 	for _, d := range k.domains {
 		for id, t := range d.blocked {
 			if t.state != TaskBlocked {
@@ -121,6 +138,108 @@ func (k *Kernel) Validate() error {
 		}
 		if err := k.CheckDriftBound(k.bcheck.slack); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// checkLazyEff verifies the lazy effective-time bookkeeping (efflazy.go):
+// the busy-frontier list agrees with the idle flags, the pruning floors
+// lower-bound every anchor, and every fresh memo matches an independently
+// recomputed eager fixpoint over the domain (anchored at busy cores and
+// frozen foreign proxies — exactly the inputs lazyFix reads).
+func (k *Kernel) checkLazyEff() error {
+	// coreID-indexed scratch for the reference fixpoint; doubles as the
+	// membership check for busyList back-pointers.
+	fix := make([]vtime.Time, len(k.cores))
+	for _, d := range k.domains {
+		if len(d.busyList) != d.busy {
+			return fmt.Errorf("domain %d: busy list holds %d cores, counter says %d", d.id, len(d.busyList), d.busy)
+		}
+		for i, c := range d.busyList {
+			if c.idle {
+				return fmt.Errorf("domain %d: idle core %d on busy list", d.id, c.ID)
+			}
+			if c.busyPos != i {
+				return fmt.Errorf("domain %d: core %d busy-list back-pointer %d, actual slot %d", d.id, c.ID, c.busyPos, i)
+			}
+			if c.eff < d.effFloor {
+				return fmt.Errorf("domain %d: floor %v above busy core %d anchor %v", d.id, d.effFloor, c.ID, c.eff)
+			}
+		}
+		if d.frozenFloor < d.effFloor {
+			return fmt.Errorf("domain %d: floor %v above frozen-proxy floor %v", d.id, d.effFloor, d.frozenFloor)
+		}
+		for _, c := range d.cores {
+			if c.idle && c.busyPos >= 0 {
+				return fmt.Errorf("domain %d: idle core %d claims busy-list slot %d", d.id, c.ID, c.busyPos)
+			}
+			if !c.idle && c.busyPos < 0 {
+				return fmt.Errorf("domain %d: busy core %d missing from busy list", d.id, c.ID)
+			}
+			idleNb := int32(0)
+			for j, nbID := range c.neighbors {
+				nb := k.cores[nbID]
+				if nb.dom != d {
+					if c.nbEff[j] < d.frozenFloor {
+						return fmt.Errorf("domain %d: frozen-proxy floor %v above core %d's proxy %v for foreign neighbor %d",
+							d.id, d.frozenFloor, c.ID, c.nbEff[j], nbID)
+					}
+				} else if nb.idle {
+					idleNb++
+				}
+			}
+			if c.idleNb != idleNb {
+				return fmt.Errorf("domain %d: core %d idle-neighbor count %d, actual %d", d.id, c.ID, c.idleNb, idleNb)
+			}
+		}
+		// Reference fixpoint: seed anchors, relax idle cores downward
+		// through local idle paths only. Frozen foreign proxies enter as
+		// leaf anchors via nbEff, never as relaxation targets — mirroring
+		// what lazyFix is allowed to read.
+		for _, c := range d.cores {
+			if c.idle {
+				fix[c.ID] = vtime.Inf
+			} else {
+				fix[c.ID] = c.eff
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, c := range d.cores {
+				if !c.idle {
+					continue
+				}
+				m := vtime.Inf
+				for j, nbID := range c.neighbors {
+					nb := k.cores[nbID]
+					var e vtime.Time
+					if nb.dom != d {
+						e = c.nbEff[j]
+					} else {
+						e = fix[nbID]
+					}
+					if e < m {
+						m = e
+					}
+				}
+				if e := satAdd(m, k.relayDelta); e < fix[c.ID] {
+					fix[c.ID] = e
+					changed = true
+				}
+			}
+		}
+		for _, c := range d.cores {
+			if !c.idle || c.effStamp != d.effEpoch {
+				continue
+			}
+			// Fresh memos come from lazyFix (anchored at local busy cores
+			// and frozen proxies) or from barrier seeding (the global
+			// fixpoint, which path-decomposes to the same local relaxation).
+			// Either way they must match the reference value.
+			if c.eff != fix[c.ID] {
+				return fmt.Errorf("domain %d: idle core %d memo %v, eager fixpoint %v", d.id, c.ID, c.eff, fix[c.ID])
+			}
 		}
 	}
 	return nil

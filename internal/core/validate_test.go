@@ -34,7 +34,9 @@ func TestValidateAfterRun(t *testing.T) {
 }
 
 func TestValidateDetectsCorruption(t *testing.T) {
-	k := New(Config{Topo: topology.Mesh(4), Seed: 1})
+	// Eager mode: the proxy-mirror invariant only holds when proxies are
+	// maintained (lazy evaluation leaves them stale between barriers).
+	k := New(Config{Topo: topology.Mesh(4), Seed: 1, Eff: EffEager})
 	// Corrupt a neighbor proxy directly.
 	k.cores[0].nbEff[0] = vtime.CyclesInt(12345)
 	err := k.Validate()
@@ -55,6 +57,32 @@ func TestValidateDetectsCorruption(t *testing.T) {
 	err = k.Validate()
 	if err == nil || !strings.Contains(err.Error(), "birth") {
 		t.Fatalf("birth corruption not detected: %v", err)
+	}
+}
+
+func TestValidateDetectsLazyCorruption(t *testing.T) {
+	k := New(Config{Topo: topology.Mesh(4), Seed: 1})
+	if !k.effLazy {
+		t.Fatalf("expected lazy effective times by default, got %s", k.EffScheme())
+	}
+	d := k.domains[0]
+	// An idle core smuggled onto the busy-frontier list.
+	c := k.cores[0]
+	c.busyPos = 0
+	d.busyList = append(d.busyList, c)
+	err := k.Validate()
+	if err == nil || !strings.Contains(err.Error(), "busy list") {
+		t.Fatalf("busy-list corruption not detected: %v", err)
+	}
+	d.busyList = d.busyList[:0]
+	c.busyPos = -1
+	// A fresh memo that disagrees with the eager fixpoint (all-idle
+	// machine: every idle core's fixpoint value is Inf).
+	c.eff = vtime.CyclesInt(777)
+	c.effStamp = d.effEpoch
+	err = k.Validate()
+	if err == nil || !strings.Contains(err.Error(), "fixpoint") {
+		t.Fatalf("memo corruption not detected: %v", err)
 	}
 }
 
